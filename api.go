@@ -1,0 +1,222 @@
+// Package mptcpsim reproduces "MPTCP is not Pareto-Optimal: Performance
+// Issues and a Possible Solution" (Khalili, Gast, Popovic, Le Boudec;
+// CoNEXT 2012 / IEEE-ACM ToN 2013) as a self-contained Go library: a
+// packet-level network simulator, a TCP/MPTCP stack with the paper's
+// coupled congestion controllers (OLIA, LIA, and the ε-family baselines),
+// the paper's analytic fixed points, its fluid model, and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// This top-level package is the public facade. Three entry points matter:
+//
+//   - Experiments / RunExperiment reproduce the paper's tables and figures.
+//   - Simulate runs a custom multipath-vs-TCP microbenchmark over
+//     user-defined bottleneck paths.
+//   - AnalyzeTwoPath evaluates the paper's loss-throughput fixed points
+//     without simulation.
+//
+// The heavy machinery lives under internal/ (see DESIGN.md for the map).
+package mptcpsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/harness"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/topo"
+)
+
+// Experiment is one table or figure of the paper (see harness).
+type Experiment = harness.Experiment
+
+// Config scales experiment runs; see DefaultConfig and FullConfig.
+type Config = harness.Config
+
+// DefaultConfig returns the quick configuration (minutes for the whole
+// registry: shorter runs, K=4 fabric, one seed).
+func DefaultConfig() Config { return harness.DefaultConfig() }
+
+// FullConfig returns the paper-scale configuration (120 s runs, 5 seeds,
+// K=8 FatTree, 2-8 subflows).
+func FullConfig() Config { return harness.FullConfig() }
+
+// Experiments lists every reproducible table/figure in paper order.
+func Experiments() []*Experiment { return harness.Experiments() }
+
+// RunExperiment regenerates one table or figure by ID (e.g. "fig9",
+// "table3"), writing its rows to w.
+func RunExperiment(id string, cfg Config, w io.Writer) error {
+	e := harness.Get(id)
+	if e == nil {
+		return fmt.Errorf("mptcpsim: unknown experiment %q (have %v)", id, harness.IDs())
+	}
+	return e.Run(cfg, w)
+}
+
+// Algorithms lists the available congestion-control algorithms: "olia"
+// (this paper's contribution), "lia" (RFC 6356), "uncoupled" (ε=2) and
+// "fullycoupled" (ε=0).
+func Algorithms() []string {
+	out := make([]string, 0, len(topo.Controllers))
+	for name := range topo.Controllers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Path describes one bottleneck path available to the multipath user in
+// Simulate: a single congested link shared with some regular TCP flows.
+type Path struct {
+	// RateMbps is the bottleneck capacity in Mb/s.
+	RateMbps float64
+	// BackgroundTCP is the number of competing single-path TCP flows.
+	BackgroundTCP int
+	// DropTail selects a 100-packet drop-tail queue instead of the paper's
+	// RED configuration.
+	DropTail bool
+}
+
+// Scenario configures a Simulate run: one multipath user across the given
+// paths, each shared with background TCP traffic. The propagation RTT is
+// 80 ms as in the paper's testbed.
+type Scenario struct {
+	// Algorithm is one of Algorithms(); defaults to "olia".
+	Algorithm string
+	// Paths are the bottlenecks (at least one).
+	Paths []Path
+	// DurationSec is the simulated measurement time after a 2 s warm-up
+	// (default 30).
+	DurationSec float64
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+// PathReport is the per-path outcome of a Simulate run.
+type PathReport struct {
+	// MultipathMbps is the multipath user's goodput share on this path.
+	MultipathMbps float64
+	// BackgroundMbps is the mean goodput of one background TCP flow.
+	BackgroundMbps float64
+	// LossProb is the bottleneck's measured drop probability.
+	LossProb float64
+	// CwndPkts is the subflow's final congestion window.
+	CwndPkts float64
+}
+
+// Report is the outcome of a Simulate run.
+type Report struct {
+	// TotalMbps is the multipath user's aggregate goodput.
+	TotalMbps float64
+	// Paths holds per-path details, in Scenario order.
+	Paths []PathReport
+}
+
+// Simulate runs a multipath user against background TCP flows over custom
+// bottleneck paths and reports the goodput split — the programmatic
+// equivalent of the paper's Fig. 6 microbenchmarks.
+func Simulate(sc Scenario) (Report, error) {
+	if len(sc.Paths) == 0 {
+		return Report{}, fmt.Errorf("mptcpsim: scenario needs at least one path")
+	}
+	algo := sc.Algorithm
+	if algo == "" {
+		algo = "olia"
+	}
+	factory, ok := topo.Controllers[algo]
+	if !ok {
+		return Report{}, fmt.Errorf("mptcpsim: unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+	dur := sc.DurationSec
+	if dur == 0 {
+		dur = 30
+	}
+	if dur < 0 {
+		return Report{}, fmt.Errorf("mptcpsim: negative duration")
+	}
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	s := sim.New(seed)
+	rig := buildScenario(s, factory(), sc.Paths)
+	warm := 2 * sim.Second
+	end := warm + sim.Seconds(dur)
+	rig.conn.Start(500 * sim.Millisecond)
+	s.RunUntil(warm)
+	mpBase := make([]int64, len(sc.Paths))
+	bgBase := make([]int64, len(sc.Paths))
+	qBase := make([]netem.Counters, len(sc.Paths))
+	for i := range sc.Paths {
+		mpBase[i] = rig.conn.Subflows()[i].Sink.GoodputBytes()
+		for _, k := range rig.bg[i] {
+			bgBase[i] += k.GoodputBytes()
+		}
+		qBase[i] = rig.queues[i].Stats()
+	}
+	s.RunUntil(end)
+
+	var rep Report
+	for i := range sc.Paths {
+		pr := PathReport{
+			MultipathMbps: stats.Mbps(rig.conn.Subflows()[i].Sink.GoodputBytes()-mpBase[i], dur),
+			LossProb:      rig.queues[i].Stats().Sub(qBase[i]).LossProb(),
+			CwndPkts:      rig.conn.CwndPkts(i),
+		}
+		if n := len(rig.bg[i]); n > 0 {
+			var total int64
+			for _, k := range rig.bg[i] {
+				total += k.GoodputBytes()
+			}
+			pr.BackgroundMbps = stats.Mbps(total-bgBase[i], dur) / float64(n)
+		}
+		rep.TotalMbps += pr.MultipathMbps
+		rep.Paths = append(rep.Paths, pr)
+	}
+	return rep, nil
+}
+
+// TwoPathAnalysis is the analytic counterpart of a two-path Simulate: given
+// loss probabilities and RTTs it evaluates the paper's fixed points.
+type TwoPathAnalysis struct {
+	// TCPBestMbps is √(2/p)/rtt on the better path (goal 1's reference).
+	TCPBestMbps float64
+	// LIAMbps are LIA's per-path rates (Eq. 2).
+	LIAMbps []float64
+	// OLIAMbps are OLIA's Theorem-1 equilibrium rates.
+	OLIAMbps []float64
+}
+
+// AnalyzeTwoPath evaluates the loss-throughput fixed points for a user with
+// the given per-path loss probabilities and RTTs (seconds). MSS is 1500 B.
+func AnalyzeTwoPath(loss, rtts []float64) (TwoPathAnalysis, error) {
+	if len(loss) != len(rtts) || len(loss) == 0 {
+		return TwoPathAnalysis{}, fmt.Errorf("mptcpsim: need matching non-empty loss and rtt slices")
+	}
+	for i := range loss {
+		if loss[i] <= 0 || rtts[i] <= 0 {
+			return TwoPathAnalysis{}, fmt.Errorf("mptcpsim: loss and rtt must be positive")
+		}
+	}
+	toMbps := func(pktsPerSec float64) float64 { return pktsPerSec * 1500 * 8 / 1e6 }
+	var out TwoPathAnalysis
+	var best float64
+	for i := range loss {
+		if r := core.TCPRate(loss[i], rtts[i]); r > best {
+			best = r
+		}
+	}
+	out.TCPBestMbps = toMbps(best)
+	for _, r := range core.LIARates(loss, rtts) {
+		out.LIAMbps = append(out.LIAMbps, toMbps(r))
+	}
+	for _, r := range core.OLIARates(loss, rtts) {
+		out.OLIAMbps = append(out.OLIAMbps, toMbps(r))
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package mptcpsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAlgorithmsList(t *testing.T) {
+	got := Algorithms()
+	want := []string{"fullycoupled", "lia", "olia", "uncoupled"}
+	if len(got) != len(want) {
+		t.Fatalf("algorithms %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("algorithms %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(Experiments()) < 20 {
+		t.Fatalf("only %d experiments exposed", len(Experiments()))
+	}
+	var b strings.Builder
+	if err := RunExperiment("fig5b", DefaultConfig(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "C1/C2") {
+		t.Fatalf("fig5b output:\n%s", b.String())
+	}
+	if err := RunExperiment("nope", DefaultConfig(), &b); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	q, f := DefaultConfig(), FullConfig()
+	if q.FatTreeK != 4 || f.FatTreeK != 8 {
+		t.Fatalf("K: quick %d full %d", q.FatTreeK, f.FatTreeK)
+	}
+	if f.Seeds <= q.Seeds || f.Duration <= q.Duration {
+		t.Fatal("full config should be larger")
+	}
+	if len(f.Subflows) != 7 || f.Subflows[6] != 8 {
+		t.Fatalf("full subflows %v", f.Subflows)
+	}
+}
+
+func TestSimulateTwoPathOLIA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	rep, err := Simulate(Scenario{
+		Algorithm:   "olia",
+		Paths:       []Path{{RateMbps: 10, BackgroundTCP: 2}, {RateMbps: 10, BackgroundTCP: 2}},
+		DurationSec: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 2 {
+		t.Fatalf("paths %d", len(rep.Paths))
+	}
+	if rep.TotalMbps < 1 || rep.TotalMbps > 20 {
+		t.Fatalf("total %.2f Mb/s implausible", rep.TotalMbps)
+	}
+	for i, p := range rep.Paths {
+		if p.BackgroundMbps <= 0 {
+			t.Fatalf("path %d background idle", i)
+		}
+		if p.CwndPkts < 1 {
+			t.Fatalf("path %d cwnd %v", i, p.CwndPkts)
+		}
+	}
+}
+
+func TestSimulateDefaultsAndErrors(t *testing.T) {
+	if _, err := Simulate(Scenario{}); err == nil {
+		t.Fatal("no paths should error")
+	}
+	if _, err := Simulate(Scenario{Algorithm: "bogus", Paths: []Path{{RateMbps: 1}}}); err == nil {
+		t.Fatal("bad algorithm should error")
+	}
+	if _, err := Simulate(Scenario{Paths: []Path{{RateMbps: 1}}, DurationSec: -1}); err == nil {
+		t.Fatal("negative duration should error")
+	}
+}
+
+func TestSimulateDropTailPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	rep, err := Simulate(Scenario{
+		Paths:       []Path{{RateMbps: 5, BackgroundTCP: 1, DropTail: true}},
+		DurationSec: 10,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMbps <= 0 {
+		t.Fatal("no goodput on drop-tail path")
+	}
+}
+
+func TestAnalyzeTwoPath(t *testing.T) {
+	a, err := AnalyzeTwoPath([]float64{0.01, 0.04}, []float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best path: p=0.01: √200/0.1 pkts/s = 141.4 pkt/s ≈ 1.70 Mb/s.
+	if math.Abs(a.TCPBestMbps-1.697) > 0.01 {
+		t.Fatalf("TCP best %.3f", a.TCPBestMbps)
+	}
+	// OLIA: only the better path carries traffic.
+	if a.OLIAMbps[1] != 0 {
+		t.Fatalf("OLIA uses the worse path: %v", a.OLIAMbps)
+	}
+	// LIA: both carry traffic, 4:1 ratio (inverse loss).
+	if r := a.LIAMbps[0] / a.LIAMbps[1]; math.Abs(r-4) > 1e-6 {
+		t.Fatalf("LIA ratio %v, want 4", r)
+	}
+	// Totals equal best for both (goal 1).
+	if math.Abs(a.LIAMbps[0]+a.LIAMbps[1]-a.TCPBestMbps) > 1e-9 {
+		t.Fatal("LIA total != best TCP")
+	}
+
+	if _, err := AnalyzeTwoPath([]float64{0.1}, []float64{0.1, 0.2}); err == nil {
+		t.Fatal("mismatched slices should error")
+	}
+	if _, err := AnalyzeTwoPath([]float64{0}, []float64{0.1}); err == nil {
+		t.Fatal("nonpositive loss should error")
+	}
+}
+
+// The paper's flagship behavioral claim at the API level: on asymmetric
+// paths OLIA retreats from the congested one, LIA does not.
+func TestSimulateOLIAvsLIAAsymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	run := func(algo string) Report {
+		rep, err := Simulate(Scenario{
+			Algorithm:   algo,
+			Paths:       []Path{{RateMbps: 10, BackgroundTCP: 5}, {RateMbps: 10, BackgroundTCP: 10}},
+			DurationSec: 40,
+			Seed:        2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	olia, lia := run("olia"), run("lia")
+	if olia.Paths[1].MultipathMbps >= lia.Paths[1].MultipathMbps {
+		t.Fatalf("congested path: OLIA %.3f >= LIA %.3f Mb/s",
+			olia.Paths[1].MultipathMbps, lia.Paths[1].MultipathMbps)
+	}
+}

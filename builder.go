@@ -1,0 +1,66 @@
+package mptcpsim
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+)
+
+// rig is the wired-up network of a Simulate run: one multipath connection
+// whose i-th subflow crosses the i-th bottleneck, each bottleneck shared
+// with that path's background TCP flows, and an uncongested shared return
+// path for ACKs.
+type rig struct {
+	conn   *mptcp.Conn
+	queues []netem.Queue
+	bg     [][]*tcp.Sink
+}
+
+// simOneWayDelay mirrors the paper's 80 ms propagation RTT.
+const simOneWayDelay = 40 * sim.Millisecond
+
+// buildScenario assembles the Simulate topology.
+func buildScenario(s *sim.Sim, ctrl core.Controller, paths []Path) *rig {
+	rev := netem.NewLink(s, netem.LinkConfig{
+		RateBps:      1_000_000_000,
+		Delay:        simOneWayDelay,
+		Kind:         netem.QueueDropTail,
+		DropTailPkts: 10_000,
+	}, "rev")
+
+	r := &rig{conn: mptcp.New(s, "user", ctrl, tcp.Config{})}
+	for i, p := range paths {
+		kind := netem.QueueRED
+		if p.DropTail {
+			kind = netem.QueueDropTail
+		}
+		link := netem.NewLink(s, netem.LinkConfig{
+			RateBps: int64(p.RateMbps * 1e6),
+			Delay:   simOneWayDelay,
+			Kind:    kind,
+		}, fmt.Sprintf("path%d", i))
+		r.queues = append(r.queues, link.Q)
+
+		var sinks []*tcp.Sink
+		for b := 0; b < p.BackgroundTCP; b++ {
+			src := tcp.NewSrc(s, 100*i+b, fmt.Sprintf("bg%d.%d", i, b), tcp.Config{})
+			sink := tcp.NewSink(s)
+			src.SetRoute(netem.NewRoute(link.Q, link.P, sink))
+			sink.SetRoute(netem.NewRoute(rev.Q, rev.P, src))
+			src.Start(sim.Time(b) * 50 * sim.Millisecond)
+			sinks = append(sinks, sink)
+		}
+		r.bg = append(r.bg, sinks)
+
+		sf := r.conn.AddSubflow(1000 + i)
+		sf.SetRoutes(
+			netem.NewRoute(link.Q, link.P).Append(sf.Sink),
+			netem.NewRoute(rev.Q, rev.P).Append(sf.Src),
+		)
+	}
+	return r
+}

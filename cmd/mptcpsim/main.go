@@ -1,0 +1,81 @@
+// Command mptcpsim lists and runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	mptcpsim -list
+//	mptcpsim -run fig9,table1
+//	mptcpsim -all
+//	mptcpsim -all -full            # paper-scale (120s runs, 5 seeds, K=8)
+//	mptcpsim -run fig13a -seeds 3 -duration 90
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mptcpsim"
+	"mptcpsim/internal/sim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		full     = flag.Bool("full", false, "paper-scale configuration (slow)")
+		seeds    = flag.Int("seeds", 0, "override repetitions per point")
+		duration = flag.Float64("duration", 0, "override testbed run seconds")
+		dcdur    = flag.Float64("dcduration", 0, "override data-center run seconds")
+		k        = flag.Int("k", 0, "override FatTree arity (even)")
+	)
+	flag.Parse()
+
+	cfg := mptcpsim.DefaultConfig()
+	if *full || os.Getenv("MPTCPSIM_FULL") == "1" {
+		cfg = mptcpsim.FullConfig()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *duration > 0 {
+		cfg.Duration = sim.Seconds(*duration)
+	}
+	if *dcdur > 0 {
+		cfg.DCDuration = sim.Seconds(*dcdur)
+	}
+	if *k > 0 {
+		cfg.FatTreeK = *k
+	}
+
+	switch {
+	case *list:
+		fmt.Printf("%-8s %-14s %s\n", "ID", "PAPER", "TITLE")
+		for _, e := range mptcpsim.Experiments() {
+			fmt.Printf("%-8s %-14s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+	case *all:
+		for _, e := range mptcpsim.Experiments() {
+			runOne(e.ID, cfg)
+		}
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			runOne(strings.TrimSpace(id), cfg)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, cfg mptcpsim.Config) {
+	t0 := time.Now()
+	fmt.Printf("\n===== %s =====\n", id)
+	if err := mptcpsim.RunExperiment(id, cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s finished in %v)\n", id, time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,322 @@
+// Package analysis solves loss-throughput fixed points on arbitrary
+// topologies — the computation the paper performs by hand for Scenarios A,
+// B and C (Appendices A and B), generalized to any set of links, users and
+// routes.
+//
+// The model: each congested link ℓ has a loss probability p_ℓ ≥ 0; a route's
+// loss is p_r = Σ_{ℓ∈r} p_ℓ (independent small losses, §V-A); every user's
+// rates follow its algorithm's loss-throughput law:
+//
+//	TCP:  x = √(2/p_r)/rtt_r
+//	LIA:  w_r = (1/p_r)·max_q(√(2/p_q)/rtt_q) / Σ_q 1/(rtt_q·p_q)   (Eq. 2)
+//	OLIA: best paths split max_q √(2/p_q)/rtt_q; others carry the
+//	      1-MSS-per-RTT probing floor                                (Thm. 1)
+//
+// and a valid fixed point makes every saturated link's load equal its
+// capacity while unsaturated links carry no loss. Solve finds it by damped
+// multiplicative updates on p — raising the loss of overloaded links and
+// decaying that of underloaded ones — which converges for these monotone
+// systems.
+//
+// The package provides an independent third implementation of the paper's
+// scenarios (besides the closed forms in internal/fixedpoint and the packet
+// simulator), used for cross-validation.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Algo selects a user's loss-throughput law.
+type Algo int
+
+const (
+	// TCP is a single-path user (uses only the first route).
+	TCP Algo = iota
+	// LIA follows Eq. 2.
+	LIA
+	// OLIA follows the Theorem-1 equilibrium with a probing floor.
+	OLIA
+)
+
+func (a Algo) String() string {
+	switch a {
+	case TCP:
+		return "tcp"
+	case LIA:
+		return "lia"
+	case OLIA:
+		return "olia"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// Link is a capacity-constrained resource (packets/second).
+type Link struct {
+	Capacity float64
+}
+
+// Route is one path: link indices plus round-trip time in seconds.
+type Route struct {
+	Links []int
+	RTT   float64
+}
+
+// User couples routes under one algorithm. A TCP user must have exactly one
+// route.
+type User struct {
+	Algo   Algo
+	Routes []Route
+	// Count replicates this user definition (N identical users); 0 means 1.
+	Count int
+}
+
+// Network is the input topology.
+type Network struct {
+	Links []Link
+	Users []User
+}
+
+// Result is a solved fixed point.
+type Result struct {
+	// LinkLoss is p_ℓ per link (0 for unsaturated links).
+	LinkLoss []float64
+	// Rates[u][r] is one user-u instance's rate on route r (pkts/s).
+	Rates [][]float64
+	// Load is the resulting total load per link (pkts/s).
+	Load []float64
+	// Iterations actually used.
+	Iterations int
+}
+
+// Options tune the solver; zero values select defaults.
+type Options struct {
+	// MaxIter bounds the damped iteration (default 200000).
+	MaxIter int
+	// Tol is the relative capacity violation tolerance (default 1e-6).
+	Tol float64
+	// Step is the update gain (default 0.05).
+	Step float64
+	// PMin is the smallest representable loss probability (default 1e-9).
+	PMin float64
+	// ProbeFloor is the minimum per-route rate for multipath users, in
+	// packets/s, modeling the 1-MSS-per-RTT window floor. Zero disables
+	// (pure fluid); NaN selects 1/rtt per route.
+	ProbeFloor float64
+}
+
+func (o *Options) fill() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200_000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	if o.Step == 0 {
+		o.Step = 0.05
+	}
+	if o.PMin == 0 {
+		o.PMin = 1e-9
+	}
+}
+
+// bTolerance is the relative band within which routes count as "best" for
+// OLIA's equilibrium split.
+const bTolerance = 1e-6
+
+// Solve finds the fixed point. It returns an error when inputs are invalid
+// or the iteration fails to satisfy the capacity conditions.
+func Solve(net *Network, opts Options) (*Result, error) {
+	opts.fill()
+	if len(net.Links) == 0 || len(net.Users) == 0 {
+		return nil, errors.New("analysis: empty network")
+	}
+	for li, l := range net.Links {
+		if l.Capacity <= 0 {
+			return nil, fmt.Errorf("analysis: link %d has nonpositive capacity", li)
+		}
+	}
+	for ui, u := range net.Users {
+		if len(u.Routes) == 0 {
+			return nil, fmt.Errorf("analysis: user %d has no routes", ui)
+		}
+		if u.Algo == TCP && len(u.Routes) != 1 {
+			return nil, fmt.Errorf("analysis: TCP user %d must have exactly one route", ui)
+		}
+		for ri, r := range u.Routes {
+			if r.RTT <= 0 {
+				return nil, fmt.Errorf("analysis: user %d route %d has bad RTT", ui, ri)
+			}
+			if len(r.Links) == 0 {
+				return nil, fmt.Errorf("analysis: user %d route %d crosses no links", ui, ri)
+			}
+			for _, l := range r.Links {
+				if l < 0 || l >= len(net.Links) {
+					return nil, fmt.Errorf("analysis: user %d route %d references link %d", ui, ri, l)
+				}
+			}
+		}
+	}
+
+	p := make([]float64, len(net.Links))
+	for i := range p {
+		p[i] = 0.001 // neutral starting congestion
+	}
+	res := &Result{LinkLoss: p}
+	var load []float64
+	for it := 0; it < opts.MaxIter; it++ {
+		res.Rates = rates(net, p, opts)
+		load = loads(net, res.Rates)
+		done := true
+		for li, l := range net.Links {
+			over := load[li]/l.Capacity - 1
+			switch {
+			case over > opts.Tol:
+				done = false
+			case over < -opts.Tol && p[li] > opts.PMin*1.0001:
+				// Underloaded but still lossy: not an equilibrium.
+				done = false
+			}
+		}
+		if done {
+			res.Load = load
+			res.Iterations = it
+			return res, nil
+		}
+		for li, l := range net.Links {
+			ratio := load[li] / l.Capacity
+			// Multiplicative damped update: log p moves toward balance.
+			// The exponent is clamped so a wildly overloaded link (for
+			// example while p sits at PMin) takes bounded geometric steps
+			// instead of overshooting to p = 1.
+			arg := opts.Step * (ratio - 1)
+			if arg > 4*opts.Step {
+				arg = 4 * opts.Step
+			}
+			if arg < -2*opts.Step {
+				arg = -2 * opts.Step
+			}
+			p[li] *= math.Exp(arg)
+			if p[li] < opts.PMin {
+				p[li] = opts.PMin
+			}
+			if p[li] > 1 {
+				p[li] = 1
+			}
+		}
+	}
+	return nil, fmt.Errorf("analysis: no convergence after %d iterations (worst load %v)",
+		opts.MaxIter, load)
+}
+
+// routeLoss sums link losses along a route.
+func routeLoss(r Route, p []float64) float64 {
+	var sum float64
+	for _, l := range r.Links {
+		sum += p[l]
+	}
+	return sum
+}
+
+// tcpRate is √(2/p)/rtt.
+func tcpRate(p, rtt float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2/p) / rtt
+}
+
+// rates evaluates every user's loss-throughput law at loss vector p.
+func rates(net *Network, p []float64, opts Options) [][]float64 {
+	out := make([][]float64, len(net.Users))
+	for ui, u := range net.Users {
+		out[ui] = userRates(u, p, opts)
+	}
+	return out
+}
+
+// userRates evaluates one user instance.
+func userRates(u User, p []float64, opts Options) []float64 {
+	n := len(u.Routes)
+	xs := make([]float64, n)
+	pr := make([]float64, n)
+	for i, r := range u.Routes {
+		pr[i] = math.Max(routeLoss(r, p), opts.PMin)
+	}
+	floor := func(r Route) float64 {
+		if math.IsNaN(opts.ProbeFloor) {
+			return 1 / r.RTT
+		}
+		return opts.ProbeFloor
+	}
+	switch u.Algo {
+	case TCP:
+		xs[0] = tcpRate(pr[0], u.Routes[0].RTT)
+	case LIA:
+		// Eq. 2: w_r = (1/p_r)·best / Σ 1/(rtt·p); x = w/rtt.
+		var best, denom float64
+		for i, r := range u.Routes {
+			if t := tcpRate(pr[i], r.RTT); t > best {
+				best = t
+			}
+			denom += 1 / (r.RTT * pr[i])
+		}
+		for i, r := range u.Routes {
+			xs[i] = best / (pr[i] * denom) / r.RTT
+			if f := floor(r); xs[i] < f {
+				xs[i] = f
+			}
+		}
+	case OLIA:
+		var best float64
+		for i, r := range u.Routes {
+			if t := tcpRate(pr[i], r.RTT); t > best {
+				best = t
+			}
+		}
+		nBest := 0
+		for i, r := range u.Routes {
+			if tcpRate(pr[i], r.RTT) >= best*(1-bTolerance) {
+				nBest++
+			}
+		}
+		for i, r := range u.Routes {
+			if tcpRate(pr[i], r.RTT) >= best*(1-bTolerance) {
+				xs[i] = best / float64(nBest)
+			} else {
+				xs[i] = floor(r)
+			}
+		}
+	}
+	return xs
+}
+
+// loads accumulates per-link totals, expanding user Counts.
+func loads(net *Network, rates [][]float64) []float64 {
+	out := make([]float64, len(net.Links))
+	for ui, u := range net.Users {
+		count := u.Count
+		if count == 0 {
+			count = 1
+		}
+		for ri, r := range u.Routes {
+			add := rates[ui][ri] * float64(count)
+			for _, l := range r.Links {
+				out[l] += add
+			}
+		}
+	}
+	return out
+}
+
+// UserTotal sums one user instance's route rates in a Result.
+func (r *Result) UserTotal(u int) float64 {
+	var sum float64
+	for _, x := range r.Rates[u] {
+		sum += x
+	}
+	return sum
+}

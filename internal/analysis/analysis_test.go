@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mptcpsim/internal/fixedpoint"
+)
+
+const rtt = 0.15
+
+// pktsPerSec converts Mb/s to packets/s at MSS 1500.
+func pktsPerSec(mbps float64) float64 { return mbps * 1e6 / 12000 }
+
+func TestSingleTCPOnOneLink(t *testing.T) {
+	// One TCP user on a 10 Mb/s link: the link must saturate and the loss
+	// satisfy x = √(2/p)/rtt.
+	net := &Network{
+		Links: []Link{{Capacity: pktsPerSec(10)}},
+		Users: []User{{Algo: TCP, Routes: []Route{{Links: []int{0}, RTT: rtt}}}},
+	}
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Rates[0][0]
+	if math.Abs(x-pktsPerSec(10))/pktsPerSec(10) > 1e-3 {
+		t.Fatalf("rate %v, want link capacity", x)
+	}
+	want := 2 / (x * rtt) / (x * rtt)
+	if math.Abs(res.LinkLoss[0]-want)/want > 1e-3 {
+		t.Fatalf("loss %v, formula predicts %v", res.LinkLoss[0], want)
+	}
+}
+
+func TestNTCPShareOneLink(t *testing.T) {
+	// N identical TCP users split the link evenly (Count expansion).
+	net := &Network{
+		Links: []Link{{Capacity: pktsPerSec(10)}},
+		Users: []User{{
+			Algo: TCP, Count: 10,
+			Routes: []Route{{Links: []int{0}, RTT: rtt}},
+		}},
+	}
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rates[0][0]; math.Abs(got-pktsPerSec(1))/pktsPerSec(1) > 1e-3 {
+		t.Fatalf("per-user rate %v, want 1 Mb/s worth", got)
+	}
+}
+
+// Scenario A via the generic engine must agree with Appendix A's closed
+// form. Topology: link 0 = server access (N1·C1), link 1 = shared AP
+// (N2·C2); type1 users: routes {0} and {0,1}; type2: route {1}.
+func TestGenericMatchesScenarioA(t *testing.T) {
+	for _, tc := range []struct{ n1, c1 float64 }{
+		{10, 1.0}, {20, 1.0}, {30, 1.5}, {10, 0.75},
+	} {
+		net := &Network{
+			Links: []Link{
+				{Capacity: pktsPerSec(tc.n1 * tc.c1)},
+				{Capacity: pktsPerSec(10 * 1.0)},
+			},
+			Users: []User{
+				{Algo: LIA, Count: int(tc.n1), Routes: []Route{
+					{Links: []int{0}, RTT: rtt},
+					{Links: []int{0, 1}, RTT: rtt},
+				}},
+				{Algo: TCP, Count: 10, Routes: []Route{
+					{Links: []int{1}, RTT: rtt},
+				}},
+			},
+		}
+		res, err := Solve(net, Options{})
+		if err != nil {
+			t.Fatalf("n1=%v: %v", tc.n1, err)
+		}
+		closed, err := fixedpoint.ScenarioALIA(tc.n1, 10, tc.c1, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotY := res.Rates[1][0] / pktsPerSec(1)
+		if math.Abs(gotY-closed.Y)/closed.Y > 0.02 {
+			t.Errorf("n1=%v: type2 rate %v Mb/s, closed form %v", tc.n1, gotY, closed.Y)
+		}
+		gotX2 := res.Rates[0][1] / pktsPerSec(1)
+		if math.Abs(gotX2-closed.X2) > 0.02*closed.X2+0.01 {
+			t.Errorf("n1=%v: x2 %v Mb/s, closed form %v", tc.n1, gotX2, closed.X2)
+		}
+		// Loss probabilities: p1 on the server link, p2 on the shared AP.
+		if math.Abs(res.LinkLoss[0]-closed.P1)/closed.P1 > 0.05 {
+			t.Errorf("n1=%v: p1 %v, closed form %v", tc.n1, res.LinkLoss[0], closed.P1)
+		}
+		if math.Abs(res.LinkLoss[1]-closed.P2)/closed.P2 > 0.05 {
+			t.Errorf("n1=%v: p2 %v, closed form %v", tc.n1, res.LinkLoss[1], closed.P2)
+		}
+	}
+}
+
+// Scenario C via the generic engine vs the §III-C cubic.
+func TestGenericMatchesScenarioC(t *testing.T) {
+	for _, tc := range []struct{ n1, c1 float64 }{
+		{10, 1.0}, {20, 2.0}, {30, 1.0},
+	} {
+		net := &Network{
+			Links: []Link{
+				{Capacity: pktsPerSec(tc.n1 * tc.c1)},
+				{Capacity: pktsPerSec(10)},
+			},
+			Users: []User{
+				{Algo: LIA, Count: int(tc.n1), Routes: []Route{
+					{Links: []int{0}, RTT: rtt},
+					{Links: []int{1}, RTT: rtt},
+				}},
+				{Algo: TCP, Count: 10, Routes: []Route{
+					{Links: []int{1}, RTT: rtt},
+				}},
+			},
+		}
+		res, err := Solve(net, Options{})
+		if err != nil {
+			t.Fatalf("n1=%v: %v", tc.n1, err)
+		}
+		closed, err := fixedpoint.ScenarioCLIA(tc.n1, 10, tc.c1, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := res.Rates[1][0] / pktsPerSec(1)
+		if math.Abs(single-closed.Y)/closed.Y > 0.02 {
+			t.Errorf("n1=%v: single %v Mb/s, closed form %v", tc.n1, single, closed.Y)
+		}
+	}
+}
+
+// Scenario B (red multipath) via the generic engine vs Appendix B.
+func TestGenericMatchesScenarioB(t *testing.T) {
+	net := &Network{
+		Links: []Link{
+			{Capacity: pktsPerSec(27)}, // X
+			{Capacity: pktsPerSec(36)}, // T
+		},
+		Users: []User{
+			{Algo: LIA, Count: 15, Routes: []Route{ // Blue
+				{Links: []int{0}, RTT: rtt},
+				{Links: []int{1}, RTT: rtt},
+			}},
+			{Algo: LIA, Count: 15, Routes: []Route{ // Red upgraded
+				{Links: []int{0, 1}, RTT: rtt},
+				{Links: []int{1}, RTT: rtt},
+			}},
+		},
+	}
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := fixedpoint.ScenarioBLIA(15, 27, 36, true, fixedpoint.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blue := res.UserTotal(0) / pktsPerSec(1)
+	red := res.UserTotal(1) / pktsPerSec(1)
+	if math.Abs(blue-closed.BluePerUser)/closed.BluePerUser > 0.03 {
+		t.Errorf("blue %v Mb/s, closed form %v", blue, closed.BluePerUser)
+	}
+	if math.Abs(red-closed.RedPerUser)/closed.RedPerUser > 0.03 {
+		t.Errorf("red %v Mb/s, closed form %v", red, closed.RedPerUser)
+	}
+}
+
+// OLIA on Scenario C uses only the private link and probes the shared one;
+// single-path users keep nearly everything — the optimum-with-probing.
+func TestGenericOLIAEqualsOptimumWithProbing(t *testing.T) {
+	net := &Network{
+		Links: []Link{
+			{Capacity: pktsPerSec(20 * 2.0)},
+			{Capacity: pktsPerSec(10)},
+		},
+		Users: []User{
+			{Algo: OLIA, Count: 20, Routes: []Route{
+				{Links: []int{0}, RTT: rtt},
+				{Links: []int{1}, RTT: rtt},
+			}},
+			{Algo: TCP, Count: 10, Routes: []Route{
+				{Links: []int{1}, RTT: rtt},
+			}},
+		},
+	}
+	res, err := Solve(net, Options{ProbeFloor: math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fixedpoint.ScenarioCOptimum(20, 10, 2.0, 1.0, fixedpoint.DefaultParams)
+	single := res.Rates[1][0] / pktsPerSec(1)
+	if math.Abs(single-opt.Y)/opt.Y > 0.03 {
+		t.Errorf("single %v Mb/s, optimum with probing %v", single, opt.Y)
+	}
+	// The OLIA probe on the shared AP is exactly 1/rtt pkts/s.
+	if got := res.Rates[0][1]; math.Abs(got-1/rtt) > 1e-9 {
+		t.Errorf("probe rate %v, want %v", got, 1/rtt)
+	}
+}
+
+// A three-bottleneck chain no closed form covers: one LIA user across three
+// parallel links with different background load. Capacity constraints must
+// hold and the busier links must carry less of the multipath user's load.
+func TestGenericThreePathNetwork(t *testing.T) {
+	net := &Network{
+		Links: []Link{
+			{Capacity: pktsPerSec(10)},
+			{Capacity: pktsPerSec(10)},
+			{Capacity: pktsPerSec(10)},
+		},
+		Users: []User{
+			{Algo: LIA, Routes: []Route{
+				{Links: []int{0}, RTT: rtt},
+				{Links: []int{1}, RTT: rtt},
+				{Links: []int{2}, RTT: rtt},
+			}},
+			{Algo: TCP, Count: 2, Routes: []Route{{Links: []int{1}, RTT: rtt}}},
+			{Algo: TCP, Count: 6, Routes: []Route{{Links: []int{2}, RTT: rtt}}},
+		},
+	}
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := res.Rates[0]
+	if !(x[0] > x[1] && x[1] > x[2]) {
+		t.Fatalf("multipath split not ordered by congestion: %v", x)
+	}
+	for li, l := range net.Links {
+		if res.Load[li] > l.Capacity*1.001 {
+			t.Fatalf("link %d overloaded: %v > %v", li, res.Load[li], l.Capacity)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	l := []Link{{Capacity: 100}}
+	cases := []*Network{
+		{},
+		{Links: l},
+		{Links: []Link{{Capacity: 0}}, Users: []User{{Algo: TCP, Routes: []Route{{Links: []int{0}, RTT: 0.1}}}}},
+		{Links: l, Users: []User{{Algo: TCP}}},
+		{Links: l, Users: []User{{Algo: TCP, Routes: []Route{{Links: []int{0}, RTT: 0.1}, {Links: []int{0}, RTT: 0.1}}}}},
+		{Links: l, Users: []User{{Algo: LIA, Routes: []Route{{Links: []int{0}, RTT: 0}}}}},
+		{Links: l, Users: []User{{Algo: LIA, Routes: []Route{{Links: []int{7}, RTT: 0.1}}}}},
+		{Links: l, Users: []User{{Algo: LIA, Routes: []Route{{RTT: 0.1}}}}},
+	}
+	for i, net := range cases {
+		if _, err := Solve(net, Options{}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if TCP.String() != "tcp" || LIA.String() != "lia" || OLIA.String() != "olia" {
+		t.Fatal("names")
+	}
+	if Algo(9).String() == "" {
+		t.Fatal("unknown")
+	}
+}
+
+// Property: for random 2-link scenario-C-like networks the solver converges
+// with capacities respected and all rates positive.
+func TestPropertySolverFeasibility(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		n1 := 1 + int(a%30)
+		c1 := 0.5 + float64(b%8)/2
+		n2 := 1 + int(c%20)
+		net := &Network{
+			Links: []Link{
+				{Capacity: pktsPerSec(float64(n1) * c1)},
+				{Capacity: pktsPerSec(float64(n2))},
+			},
+			Users: []User{
+				{Algo: LIA, Count: n1, Routes: []Route{
+					{Links: []int{0}, RTT: rtt},
+					{Links: []int{1}, RTT: rtt},
+				}},
+				{Algo: TCP, Count: n2, Routes: []Route{{Links: []int{1}, RTT: rtt}}},
+			},
+		}
+		res, err := Solve(net, Options{})
+		if err != nil {
+			return false
+		}
+		for li, l := range net.Links {
+			if res.Load[li] > l.Capacity*1.001 {
+				return false
+			}
+		}
+		for _, ur := range res.Rates {
+			for _, x := range ur {
+				if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/trace"
+)
+
+// twoLinkOutcome is the common measurement for the ablation studies: the
+// multipath user's split over the two links, the mean background TCP rates,
+// and the dominance-flip count (flappiness).
+type twoLinkOutcome struct {
+	mp1, mp2   float64 // multipath goodput per link, Mb/s
+	bg1, bg2   float64 // mean background TCP goodput per link, Mb/s
+	flipsCount int
+}
+
+func runTwoLink(cfg Config, c topo.TwoLinkConfig) twoLinkOutcome {
+	tl := topo.BuildTwoLink(c)
+	stop := cfg.Warmup + cfg.Duration
+	rec := trace.NewRecorder(tl.S, 250*sim.Millisecond, stop,
+		trace.Probe{Name: "w1", Fn: func() float64 { return tl.MP.CwndPkts(0) }},
+		trace.Probe{Name: "w2", Fn: func() float64 { return tl.MP.CwndPkts(1) }},
+	)
+	rec.Start(0)
+	tl.MP.Start(500 * sim.Millisecond)
+	tl.S.RunUntil(cfg.Warmup)
+	subBase := []int64{
+		tl.MP.Subflows()[0].Sink.GoodputBytes(),
+		tl.MP.Subflows()[1].Sink.GoodputBytes(),
+	}
+	var bgBase [2]int64
+	for _, u := range tl.TCP1 {
+		bgBase[0] += u.Goodput()
+	}
+	for _, u := range tl.TCP2 {
+		bgBase[1] += u.Goodput()
+	}
+	tl.S.RunUntil(stop)
+	secs := cfg.Duration.Sec()
+	var out twoLinkOutcome
+	out.mp1 = stats.Mbps(tl.MP.Subflows()[0].Sink.GoodputBytes()-subBase[0], secs)
+	out.mp2 = stats.Mbps(tl.MP.Subflows()[1].Sink.GoodputBytes()-subBase[1], secs)
+	var bg1, bg2 int64
+	for _, u := range tl.TCP1 {
+		bg1 += u.Goodput()
+	}
+	for _, u := range tl.TCP2 {
+		bg2 += u.Goodput()
+	}
+	if n := len(tl.TCP1); n > 0 {
+		out.bg1 = stats.Mbps(bg1-bgBase[0], secs) / float64(n)
+	}
+	if n := len(tl.TCP2); n > 0 {
+		out.bg2 = stats.Mbps(bg2-bgBase[1], secs) / float64(n)
+	}
+	out.flipsCount = flips(rec.Series(0), rec.Series(1))
+	return out
+}
+
+// ablationEpsilon sweeps the ε-family of §II on the symmetric two-link rig:
+// ε=0 (fully coupled, Pareto-optimal but flappy), ε=1 (LIA), OLIA, and ε=2
+// (uncoupled, grabs two fair shares).
+func ablationEpsilon(cfg Config, w io.Writer) error {
+	fmt.Fprintln(w, "Symmetric two-link rig (Fig. 6a): 10 Mb/s links, 5 TCP flows each; fair share 1.67 Mb/s")
+	fmt.Fprintf(w, "%-14s | %-9s %-9s %-9s | %-9s | %s\n",
+		"algorithm", "mp total", "mp link1", "mp link2", "TCP mean", "w1/w2 flips")
+	for _, algo := range []string{"fullycoupled", "lia", "olia", "uncoupled"} {
+		o := runTwoLink(cfg, topo.TwoLinkConfig{
+			C: 10, NTCP1: 5, NTCP2: 5,
+			Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
+		})
+		fmt.Fprintf(w, "%-14s | %-9.2f %-9.2f %-9.2f | %-9.2f | %d\n",
+			algo, o.mp1+o.mp2, o.mp1, o.mp2, (o.bg1+o.bg2)/2, o.flipsCount)
+	}
+	fmt.Fprintln(w, "(expected: uncoupled ≈ 2 shares; lia/olia ≈ 1 share; fullycoupled flips most)")
+	return nil
+}
+
+// ablationQueue reruns the asymmetric rig under RED and DropTail: the
+// paper's conclusions do not depend on the queueing discipline (§VI-B
+// studies drop-tail in htsim).
+func ablationQueue(cfg Config, w io.Writer) error {
+	fmt.Fprintln(w, "Asymmetric rig (Fig. 6b): link2 shared with 10 TCP flows; congested-path traffic by discipline")
+	fmt.Fprintf(w, "%-10s %-10s | %-10s %-10s | %s\n",
+		"queue", "algorithm", "mp link1", "mp link2", "TCP mean on link2")
+	for _, kind := range []netem.QueueKind{netem.QueueRED, netem.QueueDropTail} {
+		kindName := "RED"
+		if kind == netem.QueueDropTail {
+			kindName = "DropTail"
+		}
+		for _, algo := range []string{"lia", "olia"} {
+			o := runTwoLink(cfg, topo.TwoLinkConfig{
+				C: 10, NTCP1: 5, NTCP2: 10, Kind: kind,
+				Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
+			})
+			fmt.Fprintf(w, "%-10s %-10s | %-10.2f %-10.2f | %.2f\n",
+				kindName, algo, o.mp1, o.mp2, o.bg2)
+		}
+	}
+	fmt.Fprintln(w, "(expected: OLIA's link2 traffic stays near the probing floor under both disciplines)")
+	return nil
+}
+
+// ablationSsthresh compares the paper's subflow setting (ssthresh = 1 MSS,
+// §IV-B) with normal slow start on the asymmetric rig: slow-starting
+// subflows repeatedly blast the congested path.
+func ablationSsthresh(cfg Config, w io.Writer) error {
+	fmt.Fprintln(w, "Asymmetric rig: effect of the §IV-B subflow ssthresh=1 setting")
+	fmt.Fprintf(w, "%-22s | %-10s %-10s | %s\n",
+		"subflow start", "mp link1", "mp link2", "TCP mean on link2")
+	for _, keepSS := range []bool{false, true} {
+		name := "ssthresh=1 (paper)"
+		if keepSS {
+			name = "normal slow start"
+		}
+		o := runTwoLink(cfg, topo.TwoLinkConfig{
+			C: 10, NTCP1: 5, NTCP2: 10,
+			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
+			KeepSlowStart: keepSS,
+		})
+		fmt.Fprintf(w, "%-22s | %-10.2f %-10.2f | %.2f\n", name, o.mp1, o.mp2, o.bg2)
+	}
+	return nil
+}
+
+// ablationCap compares OLIA with and without the per-ACK Reno cap (goal 2's
+// "never more aggressive than TCP on any path").
+func ablationCap(cfg Config, w io.Writer) error {
+	fmt.Fprintln(w, "Symmetric rig: effect of the per-ACK increase cap (RFC 6356 goal 2)")
+	fmt.Fprintf(w, "%-14s | %-10s | %s\n", "increase cap", "mp total", "TCP mean")
+	for _, noCap := range []bool{false, true} {
+		name := "capped (std)"
+		if noCap {
+			name = "uncapped"
+		}
+		o := runTwoLink(cfg, topo.TwoLinkConfig{
+			C: 10, NTCP1: 5, NTCP2: 5,
+			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
+			SubflowCfg: tcp.Config{NoIncreaseCap: noCap},
+		})
+		fmt.Fprintf(w, "%-14s | %-10.2f | %.2f\n", name, o.mp1+o.mp2, (o.bg1+o.bg2)/2)
+	}
+	return nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:       "ablation-epsilon",
+		PaperRef: "§II design space",
+		Title:    "ε-family sweep: fully coupled (ε=0) vs LIA (ε=1) vs OLIA vs uncoupled (ε=2) on symmetric links",
+		Run:      ablationEpsilon,
+	})
+	register(&Experiment{
+		ID:       "ablation-queue",
+		PaperRef: "§III / §VI-B queueing",
+		Title:    "RED vs DropTail bottlenecks: OLIA's congestion balancing holds under both disciplines",
+		Run:      ablationQueue,
+	})
+	register(&Experiment{
+		ID:       "ablation-ssthresh",
+		PaperRef: "§IV-B",
+		Title:    "Subflow ssthresh=1 vs normal slow start on a congested path",
+		Run:      ablationSsthresh,
+	})
+	register(&Experiment{
+		ID:       "ablation-cap",
+		PaperRef: "RFC 6356 goal 2",
+		Title:    "Per-ACK increase cap on vs off",
+		Run:      ablationCap,
+	})
+}

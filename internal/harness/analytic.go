@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"mptcpsim/internal/fixedpoint"
+)
+
+// fig4Sweep is the CX/CT grid of Figures 4(a,b) and 17.
+var fig4Sweep = []float64{0.1, 0.25, 0.4, 0.5, 5.0 / 9.0, 0.6, 0.75, 0.9, 1.0, 1.25, 1.5}
+
+// fig4a prints the analytic LIA curves of Figure 4(a): normalized
+// throughputs of Blue and Red users before/after the Red upgrade, as a
+// function of CX/CT (CT = 36 Mb/s, 15+15 users, RTT 150 ms).
+func fig4a(cfg Config, w io.Writer) error {
+	const ct = 36.0
+	fmt.Fprintf(w, "%-7s | %-23s | %-23s\n", "CX/CT",
+		"Red single: blue / red", "Red multipath: blue / red")
+	for _, r := range fig4Sweep {
+		sp, err := fixedpoint.ScenarioBLIA(15, r*ct, ct, false, fixedpoint.DefaultParams)
+		if err != nil {
+			return err
+		}
+		mp, err := fixedpoint.ScenarioBLIA(15, r*ct, ct, true, fixedpoint.DefaultParams)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-7.3f | %9.3f / %9.3f   | %9.3f / %9.3f\n",
+			r, sp.BlueNorm, sp.RedNorm, mp.BlueNorm, mp.RedNorm)
+	}
+	return nil
+}
+
+// fig4b prints the optimum-with-probing counterpart (Figure 4(b)).
+func fig4b(cfg Config, w io.Writer) error {
+	const ct = 36.0
+	fmt.Fprintf(w, "%-7s | %-23s | %-23s\n", "CX/CT",
+		"Red single: blue / red", "Red multipath: blue / red")
+	for _, r := range fig4Sweep {
+		sp := fixedpoint.ScenarioBOptimum(15, r*ct, ct, false, fixedpoint.DefaultParams)
+		mp := fixedpoint.ScenarioBOptimum(15, r*ct, ct, true, fixedpoint.DefaultParams)
+		fmt.Fprintf(w, "%-7.3f | %9.3f / %9.3f   | %9.3f / %9.3f\n",
+			r, sp.BlueNorm, sp.RedNorm, mp.BlueNorm, mp.RedNorm)
+	}
+	return nil
+}
+
+// fig5b prints the analytic Scenario C curves for N1 = N2 (Figure 5(b)):
+// LIA fixed point (solid) vs optimum with probing cost (dashed).
+func fig5b(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-7s | %-23s | %-23s\n", "C1/C2",
+		"LIA: multi / single", "Optimum: multi / single")
+	for _, r := range []float64{0.1, 0.2, 1.0 / 3, 0.5, 0.75, 1.0, 1.25, 1.5} {
+		lia, err := fixedpoint.ScenarioCLIA(10, 10, r, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			return err
+		}
+		opt := fixedpoint.ScenarioCOptimum(10, 10, r, 1.0, fixedpoint.DefaultParams)
+		fmt.Fprintf(w, "%-7.3f | %9.3f / %9.3f   | %9.3f / %9.3f\n",
+			r, lia.MultiNorm, lia.SingleNorm, opt.MultiNorm, opt.SingleNorm)
+	}
+	return nil
+}
+
+// fig17 prints the optimum-with-probing allocation of Scenario B at two
+// RTTs (Figure 17): the smaller the RTT, the higher the probing cost.
+func fig17(cfg Config, w io.Writer) error {
+	const ct = 36.0
+	for _, rtt := range []float64{0.1, 0.025} {
+		pr := fixedpoint.Params{RTT: rtt}
+		fmt.Fprintf(w, "RTT = %.0f ms (probe rate %.2f Mb/s per path)\n", rtt*1000, pr.ProbeRate())
+		fmt.Fprintf(w, "%-7s | %-23s | %-23s\n", "CX/CT",
+			"Red single: blue / red", "Red multipath: blue / red")
+		for _, r := range fig4Sweep {
+			sp := fixedpoint.ScenarioBOptimum(15, r*ct, ct, false, pr)
+			mp := fixedpoint.ScenarioBOptimum(15, r*ct, ct, true, pr)
+			fmt.Fprintf(w, "%-7.3f | %9.3f / %9.3f   | %9.3f / %9.3f\n",
+				r, sp.BlueNorm, sp.RedNorm, mp.BlueNorm, mp.RedNorm)
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:       "fig4a",
+		PaperRef: "Figure 4(a)",
+		Title:    "Scenario B analytic: LIA normalized throughput vs CX/CT — upgrading Red decreases performance for everyone",
+		Run:      fig4a,
+	})
+	register(&Experiment{
+		ID:       "fig4b",
+		PaperRef: "Figure 4(b)",
+		Title:    "Scenario B analytic: optimum with probing cost — the upgrade penalty is only the probe traffic (≈3%)",
+		Run:      fig4b,
+	})
+	register(&Experiment{
+		ID:       "fig5b",
+		PaperRef: "Figure 5(b)",
+		Title:    "Scenario C analytic, N1=N2: LIA vs optimum with probing cost; LIA turns unfair beyond C1 = C2/3",
+		Run:      fig5b,
+	})
+	register(&Experiment{
+		ID:       "fig17",
+		PaperRef: "Figure 17",
+		Title:    "Scenario B optimum with probing for RTT = 100 ms and 25 ms",
+		Run:      fig17,
+	})
+}

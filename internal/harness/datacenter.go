@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/workload"
+)
+
+// hostFlow abstracts "one host's long-lived transfer" across TCP and MPTCP.
+type hostFlow interface {
+	Goodput() int64
+}
+
+type tcpFlow struct{ sink *tcp.Sink }
+
+func (f tcpFlow) Goodput() int64 { return f.sink.GoodputBytes() }
+
+type mpFlow struct{ conn *mptcp.Conn }
+
+func (f mpFlow) Goodput() int64 { return f.conn.GoodputBytes() }
+
+// launchLongFlow starts host src's long-lived flow to dst using the given
+// algorithm ("tcp" or a topo.Controllers key) with nsub subflows.
+func launchLongFlow(ft *topo.FatTree, src, dst int, algo string, nsub, flowID int) hostFlow {
+	rng := ft.S.Rand()
+	if algo == "tcp" {
+		choice := ft.PickPaths(rng, src, dst, 1)[0]
+		s, sink := workload.NewBulk(ft.S, flowID, fmt.Sprintf("h%d", src), ft.Path(src, dst, choice), tcp.Config{})
+		s.Start(sim.Time(rng.Int63n(int64(100 * sim.Millisecond))))
+		return tcpFlow{sink}
+	}
+	conn := mptcp.New(ft.S, fmt.Sprintf("h%d", src), topo.Controllers[algo](), tcp.Config{})
+	// The paper's data-center runs use htsim, whose subflows slow-start
+	// normally (the ssthresh=1 setting of §IV-B is the Linux testbed
+	// implementation).
+	conn.SetKeepSlowStart(true)
+	for i, choice := range ft.PickPaths(rng, src, dst, nsub) {
+		sf := conn.AddSubflow(flowID + i)
+		pp := ft.Path(src, dst, choice)
+		sf.SetRoutes(
+			netem.NewRoute(pp.Fwd...).Append(sf.Sink),
+			netem.NewRoute(pp.Rev...).Append(sf.Src),
+		)
+	}
+	conn.Start(sim.Time(rng.Int63n(int64(100 * sim.Millisecond))))
+	return mpFlow{conn}
+}
+
+// dcThroughput runs the §VI-B1 experiment: every host sends one long-lived
+// flow to a random other host (derangement); reports each flow's goodput as
+// a percentage of the optimal (line rate).
+func dcThroughput(cfg Config, algo string, nsub int, seed int64) []float64 {
+	ft := topo.NewFatTree(topo.FatTreeConfig{K: cfg.FatTreeK, Seed: seed})
+	n := ft.NumHosts()
+	perm := workload.Permutation(ft.S.Rand(), n)
+	flows := make([]hostFlow, n)
+	for i := 0; i < n; i++ {
+		flows[i] = launchLongFlow(ft, i, perm[i], algo, nsub, 10_000+100*i)
+	}
+	ft.S.RunUntil(cfg.DCWarmup)
+	base := make([]int64, n)
+	for i, f := range flows {
+		base[i] = f.Goodput()
+	}
+	ft.S.RunUntil(cfg.DCWarmup + cfg.DCDuration)
+	secs := cfg.DCDuration.Sec()
+	optimal := float64(ft.Cfg.LinkRateBps) / 1e6
+	out := make([]float64, n)
+	for i, f := range flows {
+		out[i] = stats.Mbps(f.Goodput()-base[i], secs) / optimal * 100
+	}
+	return out
+}
+
+// fig13a prints aggregate throughput (% of optimal) vs number of subflows
+// for LIA, OLIA and single-path TCP.
+func fig13a(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "FatTree K=%d (%d hosts), random permutation, long-lived flows\n",
+		cfg.FatTreeK, cfg.FatTreeK*cfg.FatTreeK*cfg.FatTreeK/4)
+	fmt.Fprintf(w, "%-9s | %s\n", "subflows", "aggregate throughput (%% of optimal)")
+	fmt.Fprintf(w, "%-9s | %-12s %-12s %-12s\n", "", "MPTCP-LIA", "MPTCP-OLIA", "TCP")
+
+	var tcpAgg stats.Summary
+	for s := 0; s < cfg.Seeds; s++ {
+		var sum stats.Summary
+		for _, v := range dcThroughput(cfg, "tcp", 1, cfg.BaseSeed+int64(s)) {
+			sum.Add(v)
+		}
+		tcpAgg.Add(sum.Mean())
+	}
+	for _, nsub := range cfg.Subflows {
+		var lia, olia stats.Summary
+		for s := 0; s < cfg.Seeds; s++ {
+			var l, o stats.Summary
+			for _, v := range dcThroughput(cfg, "lia", nsub, cfg.BaseSeed+int64(s)) {
+				l.Add(v)
+			}
+			for _, v := range dcThroughput(cfg, "olia", nsub, cfg.BaseSeed+int64(s)) {
+				o.Add(v)
+			}
+			lia.Add(l.Mean())
+			olia.Add(o.Mean())
+		}
+		fmt.Fprintf(w, "%-9d | %5.1f±%-5.1f %5.1f±%-5.1f %5.1f±%-5.1f\n",
+			nsub, lia.Mean(), lia.CI95(), olia.Mean(), olia.CI95(), tcpAgg.Mean(), tcpAgg.CI95())
+	}
+	return nil
+}
+
+// fig13b prints the ranked per-flow throughput distribution at the maximum
+// subflow count (the paper uses 8).
+func fig13b(cfg Config, w io.Writer) error {
+	nsub := cfg.Subflows[len(cfg.Subflows)-1]
+	fmt.Fprintf(w, "FatTree K=%d, per-flow throughput percentiles (%% of optimal), %d subflows\n",
+		cfg.FatTreeK, nsub)
+	fmt.Fprintf(w, "%-10s |", "algo")
+	qs := []float64{0, 10, 25, 50, 75, 90, 100}
+	for _, q := range qs {
+		fmt.Fprintf(w, " p%-5.0f", q)
+	}
+	fmt.Fprintln(w)
+	for _, algo := range []string{"lia", "olia", "tcp"} {
+		n := nsub
+		if algo == "tcp" {
+			n = 1
+		}
+		vals := dcThroughput(cfg, algo, n, cfg.BaseSeed)
+		fmt.Fprintf(w, "%-10s |", algo)
+		for _, q := range qs {
+			fmt.Fprintf(w, " %-6.1f", stats.Percentile(vals, q))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// shortFlowResult aggregates one §VI-B2 run.
+type shortFlowResult struct {
+	completions []float64 // seconds
+	coreUtilPct float64
+}
+
+// dcShortFlows runs the §VI-B2 experiment on the 4:1 oversubscribed fabric:
+// one third of the hosts run long-lived flows (TCP or 8-subflow MPTCP); the
+// rest send 70 KB TCP flows with Poisson 200 ms mean spacing.
+func dcShortFlows(cfg Config, algo string, seed int64) shortFlowResult {
+	ft := topo.NewFatTree(topo.FatTreeConfig{
+		K: cfg.FatTreeK, Oversubscription: 4, Seed: seed,
+	})
+	n := ft.NumHosts()
+	perm := workload.Permutation(ft.S.Rand(), n)
+	nsub := cfg.Subflows[len(cfg.Subflows)-1]
+	var gens []*workload.ShortFlows
+	stop := cfg.DCWarmup + cfg.DCDuration
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			launchLongFlow(ft, i, perm[i], algo, nsub, 10_000+100*i)
+			continue
+		}
+		choice := ft.PickPaths(ft.S.Rand(), i, perm[i], 1)[0]
+		g := workload.NewShortFlows(ft.S, 100_000+1000*i, ft.Path(i, perm[i], choice),
+			70_000, 200*sim.Millisecond, stop, tcp.Config{})
+		g.Start(cfg.DCWarmup + sim.Time(ft.S.Rand().Int63n(int64(200*sim.Millisecond))))
+		gens = append(gens, g)
+	}
+	ft.S.RunUntil(cfg.DCWarmup)
+	coreBase := int64(0)
+	core := ft.CoreLinks()
+	for _, l := range core {
+		coreBase += l.Q.Stats().SentBytes
+	}
+	ft.S.RunUntil(stop + 2*sim.Second) // drain tail completions
+	var coreBytes int64
+	for _, l := range core {
+		coreBytes += l.Q.Stats().SentBytes
+	}
+	coreBytes -= coreBase
+	secs := (cfg.DCDuration + 2*sim.Second).Sec()
+	capacity := float64(len(core)) * float64(ft.Cfg.LinkRateBps) / 8 * secs
+	res := shortFlowResult{coreUtilPct: float64(coreBytes) / capacity * 100}
+	for _, g := range gens {
+		res.completions = append(res.completions, g.Done...)
+	}
+	return res
+}
+
+// table3 prints short-flow completion statistics and core utilization.
+func table3(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "4:1 oversubscribed FatTree K=%d; 1/3 hosts long flows, rest 70KB shorts every 200ms\n", cfg.FatTreeK)
+	fmt.Fprintf(w, "%-12s | %-22s | %-10s | %s\n", "algorithm", "short-flow finish (ms)", "core util", "flows")
+	for _, algo := range []string{"lia", "olia", "tcp"} {
+		var sum stats.Summary
+		var util stats.Summary
+		var count int
+		for s := 0; s < cfg.Seeds; s++ {
+			res := dcShortFlows(cfg, algo, cfg.BaseSeed+int64(s))
+			for _, c := range res.completions {
+				sum.Add(c * 1000)
+			}
+			util.Add(res.coreUtilPct)
+			count += len(res.completions)
+		}
+		name := "MPTCP-" + algo
+		if algo == "tcp" {
+			name = "TCP"
+		}
+		fmt.Fprintf(w, "%-12s | %6.0f ± %-6.0f        | %5.1f%%     | %d\n",
+			name, sum.Mean(), sum.Stdev(), util.Mean(), count)
+	}
+	fmt.Fprintln(w, "(paper: LIA 98±57 ms / 63.2%; OLIA 90±42 ms / 63%; TCP 73±57 ms / 39.3%)")
+	return nil
+}
+
+// fig14 prints the completion-time PDFs.
+func fig14(cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "Short-flow completion-time PDF (1/s), buckets of 20 ms over 0-300 ms\n")
+	fmt.Fprintf(w, "%-10s |", "ms")
+	for b := 0; b < 15; b++ {
+		fmt.Fprintf(w, " %5d", b*20+10)
+	}
+	fmt.Fprintln(w)
+	for _, algo := range []string{"lia", "olia", "tcp"} {
+		h := stats.NewHistogram(0, 0.3, 15)
+		for s := 0; s < cfg.Seeds; s++ {
+			res := dcShortFlows(cfg, algo, cfg.BaseSeed+int64(s))
+			for _, c := range res.completions {
+				h.Add(c)
+			}
+		}
+		fmt.Fprintf(w, "%-10s |", algo)
+		for _, d := range h.PDF() {
+			fmt.Fprintf(w, " %5.2f", d)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:       "fig13a",
+		PaperRef: "Figure 13(a)",
+		Title:    "FatTree aggregate throughput vs number of subflows: MPTCP (either coupling) exploits path diversity, TCP cannot",
+		Run:      fig13a,
+	})
+	register(&Experiment{
+		ID:       "fig13b",
+		PaperRef: "Figure 13(b)",
+		Title:    "FatTree ranked per-flow throughput: LIA and OLIA provide similar fairness, far above TCP",
+		Run:      fig13b,
+	})
+	register(&Experiment{
+		ID:       "fig14",
+		PaperRef: "Figure 14",
+		Title:    "Short-flow completion-time PDF in a dynamic oversubscribed fabric: OLIA shifts mass to faster completions than LIA",
+		Run:      fig14,
+	})
+	register(&Experiment{
+		ID:       "table3",
+		PaperRef: "Table III",
+		Title:    "Short-flow completion times and core utilization: OLIA ≈10% faster mean than LIA at equal utilization",
+		Run:      table3,
+	})
+}

@@ -1,0 +1,117 @@
+// Package harness is the experiment registry: one entry per table or figure
+// of the paper's evaluation, each able to regenerate the corresponding rows
+// or series from simulation and/or the analytic models.
+//
+// Experiments print aligned text tables. Absolute numbers need not match the
+// paper's testbed hardware; the registry exists to reproduce the *shape* of
+// every result (who wins, by what factor, where crossovers sit), with the
+// analytic curves printed alongside as ground truth where the paper has
+// them.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mptcpsim/internal/sim"
+)
+
+// Config controls experiment scale. Quick (default) settings keep the whole
+// registry runnable in minutes; Full reproduces the paper's scale.
+type Config struct {
+	// Duration and Warmup bound each testbed-scenario run (the paper's
+	// Iperf sessions run 120 s).
+	Duration, Warmup sim.Time
+	// DCDuration and DCWarmup bound the packet-heavy data-center runs.
+	DCDuration, DCWarmup sim.Time
+	// Seeds is the number of repetitions per point (the paper takes 5).
+	Seeds int
+	// BaseSeed anchors the deterministic RNG chain.
+	BaseSeed int64
+	// FatTreeK is the fabric arity: 8 at paper scale, 4 for quick runs.
+	FatTreeK int
+	// Subflows lists the subflow counts swept in Fig. 13(a).
+	Subflows []int
+}
+
+// DefaultConfig is the quick configuration used by `go test -bench`.
+func DefaultConfig() Config {
+	return Config{
+		Duration:   60 * sim.Second,
+		Warmup:     5 * sim.Second,
+		DCDuration: 3 * sim.Second,
+		DCWarmup:   500 * sim.Millisecond,
+		Seeds:      1,
+		BaseSeed:   42,
+		FatTreeK:   4,
+		Subflows:   []int{2, 3, 4},
+	}
+}
+
+// FullConfig reproduces the paper's scale (120 s runs, 5 seeds, K=8 fabric,
+// 2..8 subflows). Select it with MPTCPSIM_FULL=1.
+func FullConfig() Config {
+	return Config{
+		Duration:   120 * sim.Second,
+		Warmup:     10 * sim.Second,
+		DCDuration: 8 * sim.Second,
+		DCWarmup:   sim.Second,
+		Seeds:      5,
+		BaseSeed:   42,
+		FatTreeK:   8,
+		Subflows:   []int{2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	// ID is the short handle used by the CLI and bench names ("fig1b").
+	ID string
+	// PaperRef names the artifact in the paper ("Figure 1(b)").
+	PaperRef string
+	// Title describes what the artifact shows.
+	Title string
+	// Run executes the experiment and writes its rows to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+var registry []*Experiment
+
+// register adds an experiment at package init time.
+func register(e *Experiment) {
+	registry = append(registry, e)
+}
+
+// Experiments lists the registry in registration (paper) order.
+func Experiments() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get finds an experiment by ID, or nil.
+func Get(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// IDs lists the registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e *Experiment, cfg Config) {
+	fmt.Fprintf(w, "== %s — %s ==\n%s\n", e.ID, e.PaperRef, e.Title)
+	fmt.Fprintf(w, "(duration %v, warmup %v, seeds %d)\n", cfg.Duration, cfg.Warmup, cfg.Seeds)
+}

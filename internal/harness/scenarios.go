@@ -1,0 +1,330 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"mptcpsim/internal/fixedpoint"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/stats"
+	"mptcpsim/internal/topo"
+)
+
+// lossWindow measures a queue's loss probability over [warmup, end].
+type lossWindow struct {
+	q    netem.Queue
+	base netem.Counters
+}
+
+func snapLoss(q netem.Queue) *lossWindow { return &lossWindow{q: q, base: q.Stats()} }
+
+func (lw *lossWindow) prob() float64 { return lw.q.Stats().Sub(lw.base).LossProb() }
+
+// aMetrics are the Scenario A observables of Figs. 1, 9 and 10.
+type aMetrics struct {
+	t1Norm, t2Norm, p1, p2 float64
+}
+
+// runScenarioA executes one Scenario A simulation and reports normalized
+// throughputs and loss probabilities over the measurement window.
+func runScenarioA(c topo.ScenarioAConfig, cfg Config) aMetrics {
+	a := topo.BuildScenarioA(c)
+	a.S.RunUntil(cfg.Warmup)
+	var t1Base, t2Base []int64
+	for _, u := range a.Type1 {
+		t1Base = append(t1Base, u.GoodputBytes())
+	}
+	for _, u := range a.Type1SP {
+		t1Base = append(t1Base, u.Goodput())
+	}
+	for _, u := range a.Type2 {
+		t2Base = append(t2Base, u.Goodput())
+	}
+	l1, l2 := snapLoss(a.ServerQ), snapLoss(a.SharedQ)
+	a.S.RunUntil(cfg.Warmup + cfg.Duration)
+	secs := cfg.Duration.Sec()
+	var m aMetrics
+	for i, u := range a.Type1 {
+		m.t1Norm += stats.Mbps(u.GoodputBytes()-t1Base[i], secs) / c.C1 / float64(c.N1)
+	}
+	for i, u := range a.Type1SP {
+		m.t1Norm += stats.Mbps(u.Goodput()-t1Base[i], secs) / c.C1 / float64(c.N1)
+	}
+	for i, u := range a.Type2 {
+		m.t2Norm += stats.Mbps(u.Goodput()-t2Base[i], secs) / c.C2 / float64(c.N2)
+	}
+	m.p1, m.p2 = l1.prob(), l2.prob()
+	return m
+}
+
+// avgScenarioA repeats runScenarioA across seeds.
+func avgScenarioA(c topo.ScenarioAConfig, cfg Config) (t1, t2, p1, p2 stats.Summary) {
+	for s := 0; s < cfg.Seeds; s++ {
+		c.Seed = cfg.BaseSeed + int64(s)
+		m := runScenarioA(c, cfg)
+		t1.Add(m.t1Norm)
+		t2.Add(m.t2Norm)
+		p1.Add(m.p1)
+		p2.Add(m.p2)
+	}
+	return
+}
+
+// scenarioASweep is the grid of Figs. 1(b,c), 9 and 10: N2 = 10 users,
+// N1/N2 ∈ {1,2,3}, C2 = 1 Mb/s, C1/C2 ∈ {0.75, 1, 1.5}.
+var scenarioASweep = struct {
+	n1s []int
+	c1s []float64
+}{[]int{10, 20, 30}, []float64{0.75, 1.0, 1.5}}
+
+func scenarioAExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		fmt.Fprintf(w, "%-6s %-5s %-6s | %-28s | %-18s | %s\n",
+			"C1/C2", "N1/N2", "algo", "measured t1 / t2 (norm)", "analytic t1 / t2", "optimum t1 / t2")
+		for _, c1 := range scenarioASweep.c1s {
+			for _, n1 := range scenarioASweep.n1s {
+				ana, err := fixedpoint.ScenarioALIA(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
+				if err != nil {
+					return err
+				}
+				opt := fixedpoint.ScenarioAOptimum(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
+				for _, algo := range algos {
+					t1, t2, p1, p2 := avgScenarioA(topo.ScenarioAConfig{
+						N1: n1, N2: 10, C1: c1, C2: 1.0,
+						Ctrl: topo.Controllers[algo],
+					}, cfg)
+					fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %6.3f±%.3f / %6.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
+						c1, float64(n1)/10, algo,
+						t1.Mean(), t1.CI95(), t2.Mean(), t2.CI95(),
+						ana.Type1Norm, ana.Type2Norm, opt.Type1Norm, opt.Type2Norm)
+					if withLoss {
+						fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p1=%.4f p2=%.4f)",
+							p1.Mean(), p1.CI95(), p2.Mean(), p2.CI95(), ana.P1, ana.P2)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// cMetrics are the Scenario C observables of Figs. 5, 11 and 12.
+type cMetrics struct {
+	multiNorm, singleNorm, p1, p2 float64
+}
+
+func runScenarioC(c topo.ScenarioCConfig, cfg Config) cMetrics {
+	sc := topo.BuildScenarioC(c)
+	sc.S.RunUntil(cfg.Warmup)
+	var mBase, sBase []int64
+	for _, u := range sc.Multi {
+		mBase = append(mBase, u.GoodputBytes())
+	}
+	for _, u := range sc.Single {
+		sBase = append(sBase, u.Goodput())
+	}
+	l1, l2 := snapLoss(sc.AP1Q), snapLoss(sc.AP2Q)
+	sc.S.RunUntil(cfg.Warmup + cfg.Duration)
+	secs := cfg.Duration.Sec()
+	var m cMetrics
+	for i, u := range sc.Multi {
+		m.multiNorm += stats.Mbps(u.GoodputBytes()-mBase[i], secs) / c.C1 / float64(c.N1)
+	}
+	for i, u := range sc.Single {
+		m.singleNorm += stats.Mbps(u.Goodput()-sBase[i], secs) / c.C2 / float64(c.N2)
+	}
+	m.p1, m.p2 = l1.prob(), l2.prob()
+	return m
+}
+
+func avgScenarioC(c topo.ScenarioCConfig, cfg Config) (multi, single, p1, p2 stats.Summary) {
+	for s := 0; s < cfg.Seeds; s++ {
+		c.Seed = cfg.BaseSeed + int64(s)
+		m := runScenarioC(c, cfg)
+		multi.Add(m.multiNorm)
+		single.Add(m.singleNorm)
+		p1.Add(m.p1)
+		p2.Add(m.p2)
+	}
+	return
+}
+
+// scenarioCSweep is the grid of Figs. 5(c,d), 11 and 12: N2 = 10,
+// N1 ∈ {5,10,20,30}, C2 = 1 Mb/s, C1/C2 ∈ {1, 2}.
+var scenarioCSweep = struct {
+	n1s []int
+	c1s []float64
+}{[]int{5, 10, 20, 30}, []float64{1.0, 2.0}}
+
+func scenarioCExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		fmt.Fprintf(w, "%-6s %-5s %-6s | %-30s | %-18s | %s\n",
+			"C1/C2", "N1/N2", "algo", "measured multi / single (norm)", "analytic (LIA)", "optimum multi / single")
+		for _, c1 := range scenarioCSweep.c1s {
+			for _, n1 := range scenarioCSweep.n1s {
+				ana, err := fixedpoint.ScenarioCLIA(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
+				if err != nil {
+					return err
+				}
+				opt := fixedpoint.ScenarioCOptimum(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
+				for _, algo := range algos {
+					multi, single, p1, p2 := avgScenarioC(topo.ScenarioCConfig{
+						N1: n1, N2: 10, C1: c1, C2: 1.0,
+						Ctrl: topo.Controllers[algo],
+					}, cfg)
+					fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %7.3f±%.3f / %7.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
+						c1, float64(n1)/10, algo,
+						multi.Mean(), multi.CI95(), single.Mean(), single.CI95(),
+						ana.MultiNorm, ana.SingleNorm, opt.MultiNorm, opt.SingleNorm)
+					if withLoss {
+						fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p2=%.4f)",
+							p1.Mean(), p1.CI95(), p2.Mean(), p2.CI95(), ana.P2)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// bMetrics are the Scenario B observables of Tables I and II.
+type bMetrics struct {
+	bluePerUser, redPerUser, aggregate float64
+}
+
+func runScenarioB(c topo.ScenarioBConfig, cfg Config) bMetrics {
+	b := topo.BuildScenarioB(c)
+	b.S.RunUntil(cfg.Warmup)
+	var blueBase, redBase []int64
+	for _, u := range b.Blue {
+		blueBase = append(blueBase, u.GoodputBytes())
+	}
+	for _, u := range b.RedMP {
+		redBase = append(redBase, u.GoodputBytes())
+	}
+	for _, u := range b.RedSP {
+		redBase = append(redBase, u.Goodput())
+	}
+	b.S.RunUntil(cfg.Warmup + cfg.Duration)
+	secs := cfg.Duration.Sec()
+	var m bMetrics
+	for i, u := range b.Blue {
+		m.bluePerUser += stats.Mbps(u.GoodputBytes()-blueBase[i], secs) / float64(c.N)
+	}
+	for i, u := range b.RedMP {
+		m.redPerUser += stats.Mbps(u.GoodputBytes()-redBase[i], secs) / float64(c.N)
+	}
+	for i, u := range b.RedSP {
+		m.redPerUser += stats.Mbps(u.Goodput()-redBase[i], secs) / float64(c.N)
+	}
+	m.aggregate = float64(c.N) * (m.bluePerUser + m.redPerUser)
+	return m
+}
+
+func avgScenarioB(c topo.ScenarioBConfig, cfg Config) (blue, red, agg stats.Summary) {
+	for s := 0; s < cfg.Seeds; s++ {
+		c.Seed = cfg.BaseSeed + int64(s)
+		m := runScenarioB(c, cfg)
+		blue.Add(m.bluePerUser)
+		red.Add(m.redPerUser)
+		agg.Add(m.aggregate)
+	}
+	return
+}
+
+// tableBExperiment prints a Table I / Table II style comparison for one
+// algorithm: Red single-path vs Red multipath.
+func tableBExperiment(algo string) func(cfg Config, w io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		fmt.Fprintf(w, "Scenario B, %s: CX=27, CT=36, 15+15 users (cut-set bound 63 Mb/s)\n", algo)
+		fmt.Fprintf(w, "%-12s | %-12s %-12s %-12s | %s\n",
+			"Red users", "Blue (Mb/s)", "Red (Mb/s)", "Agg (Mb/s)", "analytic agg (LIA fixed point)")
+		var aggVals [2]float64
+		for i, mp := range []bool{false, true} {
+			blue, red, agg := avgScenarioB(topo.ScenarioBConfig{
+				N: 15, CX: 27, CT: 36,
+				Ctrl: topo.Controllers[algo], RedMultipath: mp,
+			}, cfg)
+			ana, err := fixedpoint.ScenarioBLIA(15, 27, 36, mp, fixedpoint.DefaultParams)
+			if err != nil {
+				return err
+			}
+			mode := "Single-path"
+			if mp {
+				mode = "Multipath"
+			}
+			fmt.Fprintf(w, "%-12s | %5.1f±%.1f    %5.1f±%.1f    %5.1f±%.1f   | %.1f\n",
+				mode, blue.Mean(), blue.CI95(), red.Mean(), red.CI95(),
+				agg.Mean(), agg.CI95(), ana.Aggregate)
+			aggVals[i] = agg.Mean()
+		}
+		drop := (aggVals[0] - aggVals[1]) / aggVals[0] * 100
+		fmt.Fprintf(w, "aggregate change on upgrade: %+.1f%% (paper: −13%% for LIA, −3.5%% for OLIA)\n", -drop)
+		return nil
+	}
+}
+
+func init() {
+	register(&Experiment{
+		ID:       "fig1b",
+		PaperRef: "Figure 1(b)",
+		Title:    "Scenario A: normalized throughput of type1/type2 users under LIA vs analytic fixed point and optimum with probing cost",
+		Run:      scenarioAExperiment([]string{"lia"}, false),
+	})
+	register(&Experiment{
+		ID:       "fig1c",
+		PaperRef: "Figure 1(c)",
+		Title:    "Scenario A: loss probability p2 at the shared AP under LIA",
+		Run:      scenarioAExperiment([]string{"lia"}, true),
+	})
+	register(&Experiment{
+		ID:       "table1",
+		PaperRef: "Table I",
+		Title:    "Scenario B measurements with LIA: upgrading Red users reduces everyone's throughput (problem P1)",
+		Run:      tableBExperiment("lia"),
+	})
+	register(&Experiment{
+		ID:       "fig5c",
+		PaperRef: "Figure 5(c)",
+		Title:    "Scenario C: normalized throughputs under LIA vs analysis (problem P2: aggressiveness toward TCP users)",
+		Run:      scenarioCExperiment([]string{"lia"}, false),
+	})
+	register(&Experiment{
+		ID:       "fig5d",
+		PaperRef: "Figure 5(d)",
+		Title:    "Scenario C: loss probability p2 at AP2 under LIA",
+		Run:      scenarioCExperiment([]string{"lia"}, true),
+	})
+	register(&Experiment{
+		ID:       "fig9",
+		PaperRef: "Figure 9",
+		Title:    "Scenario A: OLIA vs LIA normalized throughputs (OLIA approaches the optimum with probing cost)",
+		Run:      scenarioAExperiment([]string{"lia", "olia"}, false),
+	})
+	register(&Experiment{
+		ID:       "fig10",
+		PaperRef: "Figure 10",
+		Title:    "Scenario A: loss probability p2, OLIA vs LIA (OLIA balances congestion)",
+		Run:      scenarioAExperiment([]string{"lia", "olia"}, true),
+	})
+	register(&Experiment{
+		ID:       "table2",
+		PaperRef: "Table II",
+		Title:    "Scenario B measurements with OLIA: upgrade penalty shrinks to the probing cost",
+		Run:      tableBExperiment("olia"),
+	})
+	register(&Experiment{
+		ID:       "fig11",
+		PaperRef: "Figure 11",
+		Title:    "Scenario C: OLIA vs LIA normalized throughputs",
+		Run:      scenarioCExperiment([]string{"lia", "olia"}, false),
+	})
+	register(&Experiment{
+		ID:       "fig12",
+		PaperRef: "Figure 12",
+		Title:    "Scenario C: loss probability p2, OLIA vs LIA",
+		Run:      scenarioCExperiment([]string{"lia", "olia"}, true),
+	})
+}

@@ -1,0 +1,121 @@
+package mptcp
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/sim"
+)
+
+// ProbeControl implements the paper's §VII future-work suggestion of
+// "varying the minimum probing traffic rate ... by discarding bad paths from
+// the set of available paths": a subflow whose window has sat at the floor
+// for SuspendAfter is paused entirely (zero traffic, below the 1-MSS-per-RTT
+// probing cost of a window-based algorithm) and re-probed every Reprobe by
+// resuming it. If the path has recovered, the coupled controller will grow
+// it again; otherwise it is re-suspended after another SuspendAfter at the
+// floor.
+//
+// The tradeoff is responsiveness: while suspended, a path's recovery is only
+// noticed at the next re-probe. The ext-probe experiment quantifies both
+// sides.
+type ProbeControl struct {
+	// FloorPkts is the window (packets) at or below which a path counts as
+	// "bad". The minimum window is 1 packet; the default 1.5 treats any
+	// path pinned at the minimum as bad.
+	FloorPkts float64
+	// SuspendAfter is how long a path must sit at the floor before being
+	// paused. Default 5 s.
+	SuspendAfter sim.Time
+	// Reprobe is the pause duration before the path is retried. Default 10 s.
+	Reprobe sim.Time
+	// Tick is the monitoring period. Default 500 ms.
+	Tick sim.Time
+}
+
+func (pc *ProbeControl) fill() {
+	if pc.FloorPkts == 0 {
+		pc.FloorPkts = 1.5
+	}
+	if pc.SuspendAfter == 0 {
+		pc.SuspendAfter = 5 * sim.Second
+	}
+	if pc.Reprobe == 0 {
+		pc.Reprobe = 10 * sim.Second
+	}
+	if pc.Tick == 0 {
+		pc.Tick = 500 * sim.Millisecond
+	}
+}
+
+// probeState tracks one subflow's suspension bookkeeping.
+type probeState struct {
+	atFloorFor sim.Time
+	suspended  bool
+	resumeAt   sim.Time
+	suspends   int
+}
+
+// EnableProbeControl starts monitoring the connection's subflows. Call
+// after Start. At least one subflow is always kept active, so the
+// connection can never suspend itself entirely.
+func (c *Conn) EnableProbeControl(pc ProbeControl) {
+	if len(c.subs) == 0 {
+		panic(fmt.Sprintf("mptcp: %s: probe control before subflows exist", c.name))
+	}
+	pc.fill()
+	states := make([]probeState, len(c.subs))
+	c.probeStates = states
+	var tick func()
+	tick = func() {
+		now := c.sim.Now()
+		active := 0
+		for i := range c.subs {
+			if !states[i].suspended {
+				active++
+			}
+		}
+		for i, sf := range c.subs {
+			st := &states[i]
+			if st.suspended {
+				if now >= st.resumeAt {
+					st.suspended = false
+					st.atFloorFor = 0
+					sf.Src.Resume()
+					active++
+				}
+				continue
+			}
+			if sf.Src.CwndPkts() <= pc.FloorPkts {
+				st.atFloorFor += pc.Tick
+			} else {
+				st.atFloorFor = 0
+			}
+			if st.atFloorFor >= pc.SuspendAfter && active > 1 {
+				st.suspended = true
+				st.suspends++
+				st.resumeAt = now + pc.Reprobe
+				sf.Src.Pause()
+				active--
+			}
+		}
+		c.sim.After(pc.Tick, tick)
+	}
+	c.sim.After(pc.Tick, tick)
+}
+
+// SuspendCount reports how many times subflow i has been suspended by probe
+// control (0 if probe control is disabled).
+func (c *Conn) SuspendCount(i int) int {
+	if c.probeStates == nil {
+		return 0
+	}
+	return c.probeStates[i].suspends
+}
+
+// Suspended reports whether subflow i is currently paused by probe control.
+func (c *Conn) Suspended(i int) bool {
+	if c.probeStates == nil {
+		return false
+	}
+	return c.probeStates[i].suspended
+}

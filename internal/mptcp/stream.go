@@ -1,0 +1,203 @@
+package mptcp
+
+import (
+	"fmt"
+	"sort"
+
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+)
+
+// Stream carries one finite connection-level byte stream over a Conn's
+// subflows, playing the role of MPTCP's data sequence signal (DSS): a
+// demand-driven scheduler maps data-level chunks onto subflow sequence
+// ranges, and the receive side reassembles the data-level stream from the
+// subflows' in-order deliveries.
+//
+// Scheduling is pull-based: whenever a subflow runs out of assigned bytes
+// it requests the next chunk, so faster subflows naturally pull more data —
+// the throughput-equivalent of Linux MPTCP's default scheduler. Chunks are
+// committed once assigned (no reinjection on path death; the paper's
+// experiments do not exercise mid-transfer path failure).
+//
+// Completion means data-level in-order delivery of all TotalBytes — the
+// metric a connection-level short flow reports.
+type Stream struct {
+	conn  *Conn
+	total int64
+	chunk int64
+
+	nextData int64        // next unassigned data-level byte
+	assigned [][]dataSpan // per-subflow FIFO of data spans, subflow order
+	consumed []int64      // per-subflow data bytes already delivered
+
+	inOrder   int64      // contiguous data-level prefix delivered
+	delivered int64      // total data-level bytes delivered (any order)
+	oooSpans  []dataSpan // delivered beyond the prefix; sorted, disjoint
+
+	startAt sim.Time
+	doneAt  sim.Time
+	done    bool
+	// OnComplete fires once the whole stream is delivered in order.
+	OnComplete func(*Stream)
+}
+
+// dataSpan is a half-open data-level byte range.
+type dataSpan struct {
+	start, end int64
+}
+
+// DefaultChunk is the scheduling granularity when none is given: small
+// enough to balance across asymmetric paths, large enough to amortize.
+const DefaultChunk = 16 * 1024
+
+// NewStream attaches a finite stream of totalBytes to conn. Call after the
+// subflows are added and routed but before conn.Start. The connection must
+// have been created with an unbounded tcp.Config (no FlowBytes): the stream
+// owns data assignment. totalBytes must be at least the number of subflows.
+func NewStream(conn *Conn, totalBytes, chunkBytes int64) *Stream {
+	n := len(conn.subs)
+	if n == 0 {
+		panic(fmt.Sprintf("mptcp: %s: stream before subflows exist", conn.name))
+	}
+	if totalBytes < int64(n) {
+		panic(fmt.Sprintf("mptcp: %s: stream of %d bytes across %d subflows", conn.name, totalBytes, n))
+	}
+	if chunkBytes == 0 {
+		chunkBytes = DefaultChunk
+	}
+	if chunkBytes < 1 {
+		panic("mptcp: nonpositive chunk")
+	}
+	st := &Stream{
+		conn:     conn,
+		total:    totalBytes,
+		chunk:    chunkBytes,
+		assigned: make([][]dataSpan, n),
+		consumed: make([]int64, n),
+	}
+	for i, sf := range conn.subs {
+		i, sf := i, sf
+		if sf.Src.AssignedBytes() != 0 {
+			panic(fmt.Sprintf("mptcp: %s/sub%d already has a finite flow", conn.name, i))
+		}
+		// Seed every subflow with an initial span, holding back at least
+		// one byte for each later subflow so none starts unbounded.
+		avail := st.total - st.nextData - int64(n-i-1)
+		size := st.chunk
+		if size > avail {
+			size = avail
+		}
+		span := dataSpan{st.nextData, st.nextData + size}
+		st.nextData = span.end
+		st.assigned[i] = append(st.assigned[i], span)
+		sf.Src.SetFlowBytes(size)
+		sf.Src.OnStalled = func(*tcp.Src) { st.assignMore(i) }
+		sf.Sink.OnInOrder = func(bytes int64) { st.deliver(i, bytes) }
+	}
+	return st
+}
+
+// Start launches the connection and stamps the stream's start time.
+func (st *Stream) Start(at sim.Time) {
+	st.startAt = at
+	st.conn.Start(at)
+}
+
+// TotalBytes reports the stream length.
+func (st *Stream) TotalBytes() int64 { return st.total }
+
+// InOrderBytes reports the contiguous data-level prefix delivered so far.
+func (st *Stream) InOrderBytes() int64 { return st.inOrder }
+
+// DeliveredBytes reports all data-level bytes delivered, in any order.
+func (st *Stream) DeliveredBytes() int64 { return st.delivered }
+
+// Done reports completion (full in-order delivery).
+func (st *Stream) Done() bool { return st.done }
+
+// CompletionTime reports the stream duration; valid once Done.
+func (st *Stream) CompletionTime() sim.Time { return st.doneAt - st.startAt }
+
+// AssignedTo reports how many data bytes have been scheduled onto subflow i
+// in total (delivered or not) — faster paths pull more.
+func (st *Stream) AssignedTo(i int) int64 {
+	var sum int64
+	for _, sp := range st.assigned[i] {
+		sum += sp.end - sp.start
+	}
+	// assigned holds only unconsumed spans; add the consumed prefix via the
+	// subflow's cumulative delivery.
+	return sum + st.consumed[i]
+}
+
+// assignMore hands the next chunk to a stalled subflow.
+func (st *Stream) assignMore(i int) {
+	if st.nextData >= st.total {
+		return // nothing left; the subflow stays quiescent
+	}
+	end := st.nextData + st.chunk
+	if end > st.total {
+		end = st.total
+	}
+	span := dataSpan{st.nextData, end}
+	st.nextData = end
+	st.assigned[i] = append(st.assigned[i], span)
+	st.conn.subs[i].Src.ExtendFlow(span.end - span.start)
+}
+
+// deliver consumes n subflow-level in-order bytes, mapping them back to
+// data-level spans (FIFO per subflow, since a subflow delivers in order).
+func (st *Stream) deliver(i int, n int64) {
+	for n > 0 {
+		if len(st.assigned[i]) == 0 {
+			panic(fmt.Sprintf("mptcp: %s/sub%d delivered %d unassigned bytes", st.conn.name, i, n))
+		}
+		sp := &st.assigned[i][0]
+		m := sp.end - sp.start
+		if m > n {
+			m = n
+		}
+		st.emit(dataSpan{sp.start, sp.start + m})
+		sp.start += m
+		st.consumed[i] += m
+		n -= m
+		if sp.start == sp.end {
+			st.assigned[i] = st.assigned[i][1:]
+		}
+	}
+}
+
+// emit folds one delivered data span into the reassembly state.
+func (st *Stream) emit(sp dataSpan) {
+	st.delivered += sp.end - sp.start
+	if sp.start != st.inOrder {
+		st.insertOOO(sp)
+		return
+	}
+	st.inOrder = sp.end
+	// Drain any buffered spans now contiguous.
+	for len(st.oooSpans) > 0 && st.oooSpans[0].start <= st.inOrder {
+		if st.oooSpans[0].end > st.inOrder {
+			st.inOrder = st.oooSpans[0].end
+		}
+		st.oooSpans = st.oooSpans[1:]
+	}
+	if st.inOrder >= st.total && !st.done {
+		st.done = true
+		st.doneAt = st.conn.sim.Now()
+		if st.OnComplete != nil {
+			st.OnComplete(st)
+		}
+	}
+}
+
+// insertOOO buffers a span delivered ahead of the in-order point.
+func (st *Stream) insertOOO(sp dataSpan) {
+	i := sort.Search(len(st.oooSpans), func(i int) bool {
+		return st.oooSpans[i].start >= sp.start
+	})
+	st.oooSpans = append(st.oooSpans, dataSpan{})
+	copy(st.oooSpans[i+1:], st.oooSpans[i:])
+	st.oooSpans[i] = sp
+}

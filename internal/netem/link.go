@@ -1,0 +1,79 @@
+package netem
+
+import "mptcpsim/internal/sim"
+
+// QueueKind selects the buffering discipline for a link.
+type QueueKind int
+
+const (
+	// QueueRED uses the paper's testbed RED configuration (§III).
+	QueueRED QueueKind = iota
+	// QueueDropTail uses a fixed-size FIFO (htsim's data-center default).
+	QueueDropTail
+)
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	RateBps int64
+	Delay   sim.Time
+	Kind    QueueKind
+	// DropTailPkts is the buffer size when Kind is QueueDropTail; a zero
+	// value selects htsim's default of 100 packets.
+	DropTailPkts int
+	// REDCfg overrides the paper-derived RED parameters when non-nil.
+	REDCfg *REDConfig
+}
+
+// Link is a unidirectional link: a rate-limiting queue followed by a
+// propagation-delay pipe. Packets Recv'd by the link pass through both.
+type Link struct {
+	Q Queue
+	P *Pipe
+}
+
+// NewLink builds a link from cfg. The name is used for traces and stats.
+func NewLink(s *sim.Sim, cfg LinkConfig, name string) *Link {
+	var q Queue
+	switch cfg.Kind {
+	case QueueDropTail:
+		n := cfg.DropTailPkts
+		if n == 0 {
+			n = 100
+		}
+		q = NewDropTail(s, cfg.RateBps, n, name+"/q")
+	case QueueRED:
+		red := PaperRED(cfg.RateBps)
+		if cfg.REDCfg != nil {
+			red = *cfg.REDCfg
+		}
+		q = NewRED(s, cfg.RateBps, red, name+"/q")
+	default:
+		panic("netem: unknown queue kind")
+	}
+	return &Link{Q: q, P: NewPipe(s, cfg.Delay, name+"/p")}
+}
+
+// Hops returns the link's elements in traversal order, for route building.
+func (l *Link) Hops() []Node { return []Node{l.Q, l.P} }
+
+// Recv lets a Link act as a single Node (rarely needed; routes normally
+// include Q and P separately so the pipe is addressable).
+func (l *Link) Recv(p *Packet) { l.Q.Recv(p) }
+
+// Collector is a terminal Node that retains delivered packets. It is used
+// in tests and as a traffic sink for background flows.
+type Collector struct {
+	Pkts  []*Packet
+	Bytes int64
+	// OnRecv, if set, observes each delivery.
+	OnRecv func(*Packet)
+}
+
+// Recv records the packet.
+func (c *Collector) Recv(p *Packet) {
+	c.Pkts = append(c.Pkts, p)
+	c.Bytes += int64(p.Size)
+	if c.OnRecv != nil {
+		c.OnRecv(p)
+	}
+}

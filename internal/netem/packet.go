@@ -1,0 +1,131 @@
+// Package netem provides the network elements the simulations run over:
+// packets, propagation-delay pipes, rate-limited queues (DropTail and RED
+// with the paper's parameters), and source routes. It is the Go equivalent
+// of htsim's Pipe/Queue/EventList core, which the paper uses for its
+// data-center experiments, and of the Click-emulated testbed links used in
+// Scenarios A, B and C.
+package netem
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/sim"
+)
+
+// MSS is the maximum segment size used throughout the paper's experiments
+// (1500-byte packets, §III and Appendix B).
+const MSS = 1500
+
+// AckSize is the wire size of a pure ACK segment.
+const AckSize = 40
+
+// Node consumes packets. Queues, pipes and protocol sinks are Nodes.
+type Node interface {
+	Recv(p *Packet)
+}
+
+// Route is an ordered list of network elements a packet traverses, ending at
+// the protocol endpoint (sink for data, source for ACKs). Routes are built
+// once by the topology and shared by all packets of a flow, so they must not
+// be mutated after use begins.
+type Route struct {
+	hops []Node
+}
+
+// NewRoute builds a route over the given hops.
+func NewRoute(hops ...Node) *Route {
+	return &Route{hops: hops}
+}
+
+// Append returns a new route with extra hops appended; the receiver is not
+// modified. A nil receiver acts as an empty route.
+func (r *Route) Append(hops ...Node) *Route {
+	var base []Node
+	if r != nil {
+		base = r.hops
+	}
+	n := make([]Node, 0, len(base)+len(hops))
+	n = append(n, base...)
+	n = append(n, hops...)
+	return &Route{hops: n}
+}
+
+// Len reports the number of hops.
+func (r *Route) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.hops)
+}
+
+// Hop returns the i-th hop.
+func (r *Route) Hop(i int) Node { return r.hops[i] }
+
+// Packet is a simulated segment. Packets are passed by pointer along their
+// route; ownership transfers with each Recv call. A dropped packet is simply
+// abandoned to the garbage collector.
+type Packet struct {
+	// Seq is the sequence number of the first payload byte (data packets),
+	// or the cumulative ACK point — the next byte expected — for ACKs.
+	Seq int64
+	// Size is the wire size in bytes, including an idealized header.
+	Size int
+	// Ack marks pure acknowledgments.
+	Ack bool
+	// Retx marks retransmitted data (Karn's rule: no RTT sample from these).
+	Retx bool
+	// SentAt is the source timestamp; ACKs echo it back in EchoTS.
+	SentAt sim.Time
+	// EchoTS is the echoed data-packet timestamp on an ACK.
+	EchoTS sim.Time
+	// FlowID identifies the (sub)flow, for tracing and debugging.
+	FlowID int
+	// Sack carries selective-acknowledgment blocks on ACKs: ranges above
+	// the cumulative ACK point that the receiver holds buffered. Sorted
+	// ascending and disjoint.
+	Sack []Block
+
+	route *Route
+	hop   int
+}
+
+// Block is a half-open byte range [Start, End) used for SACK reporting.
+type Block struct {
+	Start, End int64
+}
+
+// NewPacket readies p for transmission over route. It resets the hop cursor.
+func (p *Packet) SetRoute(r *Route) {
+	p.route = r
+	p.hop = 0
+}
+
+// Route returns the packet's route (may be nil for locally delivered packets).
+func (p *Packet) Route() *Route { return p.route }
+
+// SendOn forwards the packet to the next hop of its route. It panics if the
+// route is exhausted: protocol endpoints must be the final hop and must not
+// forward further.
+func (p *Packet) SendOn() {
+	if p.route == nil || p.hop >= len(p.route.hops) {
+		panic(fmt.Sprintf("netem: packet (seq %d, ack %v) ran off its route", p.Seq, p.Ack))
+	}
+	next := p.route.hops[p.hop]
+	p.hop++
+	next.Recv(p)
+}
+
+// DataPacket builds a data segment of size bytes for the given flow.
+func DataPacket(flowID int, seq int64, size int, now sim.Time, route *Route) *Packet {
+	p := &Packet{Seq: seq, Size: size, FlowID: flowID, SentAt: now}
+	p.SetRoute(route)
+	return p
+}
+
+// AckPacket builds a pure ACK carrying cumulative ack point ackSeq and
+// echoing the data packet's timestamp.
+func AckPacket(flowID int, ackSeq int64, echo sim.Time, now sim.Time, route *Route) *Packet {
+	p := &Packet{Seq: ackSeq, Size: AckSize, Ack: true, FlowID: flowID, SentAt: now, EchoTS: echo}
+	p.SetRoute(route)
+	return p
+}

@@ -1,0 +1,32 @@
+package netem
+
+import "mptcpsim/internal/sim"
+
+// Pipe models fixed propagation delay: every packet entering the pipe leaves
+// it exactly Delay later, order-preserving, with no capacity limit. It is the
+// direct analogue of htsim's Pipe. Serialization (rate) is modeled by Queue,
+// so a physical link is a Queue followed by a Pipe.
+type Pipe struct {
+	sim   *sim.Sim
+	delay sim.Time
+	name  string
+}
+
+// NewPipe returns a pipe with the given one-way propagation delay.
+func NewPipe(s *sim.Sim, delay sim.Time, name string) *Pipe {
+	if delay < 0 {
+		panic("netem: negative pipe delay")
+	}
+	return &Pipe{sim: s, delay: delay, name: name}
+}
+
+// Delay reports the pipe's propagation delay.
+func (pp *Pipe) Delay() sim.Time { return pp.delay }
+
+// Name identifies the pipe in traces.
+func (pp *Pipe) Name() string { return pp.name }
+
+// Recv delays the packet and forwards it to the next hop.
+func (pp *Pipe) Recv(p *Packet) {
+	pp.sim.After(pp.delay, func() { p.SendOn() })
+}

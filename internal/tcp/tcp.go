@@ -1,0 +1,855 @@
+// Package tcp implements a window-based TCP Reno/NewReno sender and receiver
+// on top of the netem substrate: slow start, congestion avoidance, fast
+// retransmit / fast recovery, retransmission timeouts with exponential
+// backoff, and Jacobson/Karels RTT estimation with Karn's rule.
+//
+// The congestion-avoidance increase and the loss notification are exposed
+// through a Hook so that internal/core can couple the windows of MPTCP
+// subflows (LIA, OLIA, ...). With a nil Hook the sender is plain Reno — the
+// "regular TCP user" of the paper.
+//
+// The model matches htsim's TcpSrc/TcpSink, the simulator used for the
+// paper's data-center evaluation: bulk (or fixed-size) transfers, cumulative
+// ACKs (one per received segment), no SACK, byte-counting windows kept as
+// float64 multiples of MSS.
+package tcp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// Hook observes congestion events of one flow and supplies the
+// congestion-avoidance window increase. Implementations couple subflows.
+type Hook interface {
+	// OnAck is called for every new cumulative ACK covering n bytes.
+	// If inCA is true, the return value — in packets (MSS units) — is added
+	// to the congestion window; in slow start the return value is ignored.
+	OnAck(n int, inCA bool) float64
+	// OnLoss is called once per window-halving event (entering fast
+	// recovery, or a retransmission timeout).
+	OnLoss()
+}
+
+// WindowReducer is an optional extension of Hook: on a fast-recovery loss
+// event the sender sets ssthresh to ReduceTo(cwnd) (bytes) instead of the
+// default cwnd/2. The ε=0 fully-coupled baseline uses this to apply its
+// w_total/2 decrease.
+type WindowReducer interface {
+	ReduceTo(cwndBytes float64) float64
+}
+
+// Config parameterizes a sender. The zero value is usable: defaults are
+// filled in by NewSrc.
+type Config struct {
+	MSS          int      // segment size; default netem.MSS (1500)
+	InitCwndPkts float64  // initial window; default 2
+	SsthreshPkts float64  // initial slow-start threshold; default "infinite" (1<<20)
+	MinSsthresh  float64  // floor for ssthresh on halving, in packets; default 2
+	MaxCwndPkts  float64  // cap on cwnd (models rwnd); default unlimited
+	MinRTO       sim.Time // RTO floor; default 200ms (Linux)
+	MaxRTO       sim.Time // RTO ceiling; default 60s
+	FlowBytes    int64    // bytes to transfer; 0 means unbounded (long-lived)
+	// NoIncreaseCap disables the per-ACK cap that keeps a coupled hook from
+	// growing the window faster than Reno (one packet per acked packet).
+	// Exists only for the ablation study; production configs keep the cap
+	// (RFC 6356 goal 2).
+	NoIncreaseCap bool
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = netem.MSS
+	}
+	if c.InitCwndPkts == 0 {
+		c.InitCwndPkts = 2
+	}
+	if c.SsthreshPkts == 0 {
+		c.SsthreshPkts = 1 << 20
+	}
+	if c.MinSsthresh == 0 {
+		c.MinSsthresh = 2
+	}
+	if c.MaxCwndPkts == 0 {
+		c.MaxCwndPkts = math.Inf(1)
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * sim.Second
+	}
+}
+
+// Stats aggregates sender-side statistics.
+type Stats struct {
+	SentPkts    int64
+	RetxPkts    int64
+	Timeouts    int64
+	FastRecover int64 // fast-recovery episodes
+	AckedBytes  int64 // cumulative-ACK progress (goodput at the sender)
+}
+
+// Src is a TCP sender. It is a netem.Node: the reverse route delivers ACKs
+// to it. Create with NewSrc, connect with a Sink, then Start.
+type Src struct {
+	sim  *sim.Sim
+	cfg  Config
+	id   int
+	name string
+
+	fwd  *netem.Route // data route, ending at the Sink
+	hook Hook
+
+	// Window state, in bytes (float64 to carry fractional per-ACK increases).
+	cwnd     float64
+	ssthresh float64
+
+	highestSent int64 // next byte to send
+	lastAcked   int64
+	dupAcks     int
+	inRecovery  bool
+	recoverSeq  int64 // recovery ends when cumulative ACK passes this
+
+	// RTT estimation (Jacobson/Karels), in ns.
+	srtt, rttvar float64
+	rttSeen      bool
+	rtoBackoff   int
+
+	rtoEvent *sim.Event
+
+	started  bool
+	done     bool
+	paused   bool
+	startAt  sim.Time
+	doneAt   sim.Time
+	stats    Stats
+	retxMark int64 // bytes below this are retransmissions when resent
+
+	// SACK scoreboard: disjoint, ascending ranges above lastAcked that the
+	// receiver reported buffered. retxNext is the retransmission cursor for
+	// the current recovery episode; recAcks counts ACKs during recovery for
+	// rate-halving (one (re)transmission per two ACKs, PRR-style).
+	scoreboard []netem.Block
+	retxNext   int64
+	recAcks    int
+
+	// OnComplete fires when a finite flow is fully acknowledged.
+	OnComplete func(src *Src)
+
+	// OnStalled, if set, turns the source into a pull-driven stream
+	// segment: whenever the sender runs out of assigned bytes (FlowBytes)
+	// it requests more via this callback (delivered through a zero-delay
+	// event to avoid reentrancy), and it never self-completes — the layer
+	// above (mptcp.Stream) owns completion.
+	OnStalled func(src *Src)
+	stalled   bool
+}
+
+// NewSrc builds a sender with the given configuration.
+func NewSrc(s *sim.Sim, id int, name string, cfg Config) *Src {
+	cfg.fill()
+	src := &Src{
+		sim:      s,
+		cfg:      cfg,
+		id:       id,
+		name:     name,
+		cwnd:     cfg.InitCwndPkts * float64(cfg.MSS),
+		ssthresh: cfg.SsthreshPkts * float64(cfg.MSS),
+	}
+	return src
+}
+
+// SetRoute installs the forward route, which must end at this flow's Sink.
+func (t *Src) SetRoute(r *netem.Route) { t.fwd = r }
+
+// SetHook installs a coupled congestion controller hook. Must be called
+// before Start.
+func (t *Src) SetHook(h Hook) { t.hook = h }
+
+// ID reports the flow id carried in this sender's packets.
+func (t *Src) ID() int { return t.id }
+
+// Name identifies the flow in traces.
+func (t *Src) Name() string { return t.name }
+
+// MSS reports the configured segment size.
+func (t *Src) MSS() int { return t.cfg.MSS }
+
+// CwndPkts reports the congestion window in packets.
+func (t *Src) CwndPkts() float64 { return t.cwnd / float64(t.cfg.MSS) }
+
+// CwndBytes reports the congestion window in bytes.
+func (t *Src) CwndBytes() float64 { return t.cwnd }
+
+// SRTT reports the smoothed RTT estimate in seconds (0 until first sample).
+func (t *Src) SRTT() float64 { return t.srtt / float64(sim.Second) }
+
+// InCA reports whether the sender is in congestion avoidance (as opposed to
+// slow start); fast recovery counts as congestion avoidance.
+func (t *Src) InCA() bool { return t.cwnd >= t.ssthresh || t.inRecovery }
+
+// Stats returns a copy of the sender statistics.
+func (t *Src) Stats() Stats { return t.stats }
+
+// AckedBytes reports cumulative acknowledged bytes.
+func (t *Src) AckedBytes() int64 { return t.lastAcked }
+
+// Done reports whether a finite flow has completed.
+func (t *Src) Done() bool { return t.done }
+
+// CompletionTime returns the flow duration, valid once Done.
+func (t *Src) CompletionTime() sim.Time { return t.doneAt - t.startAt }
+
+// ConfigureMultipath applies the paper's subflow settings (§IV-B): when a
+// connection has several paths, each subflow starts with ssthresh = 1 MSS
+// (entering congestion avoidance immediately, to avoid blasting congested
+// paths), initial window 1 MSS, and a halving floor of 1 MSS so a window can
+// sit at one packet on a bad path. Call before Start.
+func (t *Src) ConfigureMultipath() {
+	mss := float64(t.cfg.MSS)
+	t.ssthresh = mss
+	t.cwnd = mss
+	t.cfg.MinSsthresh = 1
+}
+
+// Start begins transmission at the given absolute virtual time.
+func (t *Src) Start(at sim.Time) {
+	if t.fwd == nil {
+		panic(fmt.Sprintf("tcp: %s started without a route", t.name))
+	}
+	t.startAt = at
+	t.sim.At(at, func() {
+		t.started = true
+		t.sendMore()
+	})
+}
+
+// flight is the number of unacknowledged bytes in the network.
+func (t *Src) flight() int64 { return t.highestSent - t.lastAcked }
+
+// effCwnd applies the receive-window cap.
+func (t *Src) effCwnd() float64 {
+	return math.Min(t.cwnd, t.cfg.MaxCwndPkts*float64(t.cfg.MSS))
+}
+
+// Pause stops the transmission of new segments; in-flight data still drains
+// and loss recovery continues. Used by the bad-path suspension extension
+// (the paper's §VII suggestion of discarding bad paths from the path set).
+func (t *Src) Pause() { t.paused = true }
+
+// Resume re-enables transmission after Pause.
+func (t *Src) Resume() {
+	if !t.paused {
+		return
+	}
+	t.paused = false
+	t.sendMore()
+}
+
+// Paused reports whether new transmissions are suspended.
+func (t *Src) Paused() bool { return t.paused }
+
+// sendMore transmits as many new segments as the window allows.
+func (t *Src) sendMore() {
+	if !t.started || t.done || t.paused {
+		return
+	}
+	mss := int64(t.cfg.MSS)
+	for {
+		// Skip ranges the receiver already holds (post-RTO go-back-N must
+		// not resend SACKed data: that would trigger dupACK storms).
+		for _, b := range t.scoreboard {
+			if t.highestSent >= b.Start && t.highestSent < b.End {
+				t.highestSent = b.End
+			}
+		}
+		if t.cfg.FlowBytes > 0 && t.highestSent >= t.cfg.FlowBytes {
+			t.requestData()
+			break
+		}
+		if float64(t.flight()+mss) > t.effCwnd() {
+			break
+		}
+		size := mss
+		if t.cfg.FlowBytes > 0 && t.highestSent+size > t.cfg.FlowBytes {
+			size = t.cfg.FlowBytes - t.highestSent
+		}
+		t.transmit(t.highestSent, int(size), t.highestSent < t.retxMark)
+		t.highestSent += size
+	}
+	t.armRTO()
+}
+
+// segSizeAt bounds a segment starting at seq by the flow length.
+func (t *Src) segSizeAt(seq int64) int {
+	if t.cfg.FlowBytes > 0 && seq+int64(t.cfg.MSS) > t.cfg.FlowBytes {
+		return int(t.cfg.FlowBytes - seq)
+	}
+	return t.cfg.MSS
+}
+
+// requestData asks the stream layer for more bytes, at most once per stall.
+func (t *Src) requestData() {
+	if t.OnStalled == nil || t.stalled {
+		return
+	}
+	t.stalled = true
+	t.sim.After(0, func() {
+		if t.stalled && t.OnStalled != nil && !t.done {
+			t.OnStalled(t)
+		}
+	})
+}
+
+// ExtendFlow assigns n more bytes to a pull-driven source (see OnStalled)
+// and resumes transmission.
+func (t *Src) ExtendFlow(n int64) {
+	if n <= 0 {
+		panic("tcp: ExtendFlow needs positive bytes")
+	}
+	if t.cfg.FlowBytes <= 0 {
+		panic("tcp: ExtendFlow on an unbounded flow")
+	}
+	t.cfg.FlowBytes += n
+	t.stalled = false
+	if t.started && !t.done {
+		t.sendMore()
+	}
+}
+
+// AssignedBytes reports the current end of assigned data (FlowBytes).
+func (t *Src) AssignedBytes() int64 { return t.cfg.FlowBytes }
+
+// SetFlowBytes sets the assigned-data limit. Only valid before Start;
+// streams use it to seed each subflow's first chunk.
+func (t *Src) SetFlowBytes(n int64) {
+	if t.started {
+		panic("tcp: SetFlowBytes after Start")
+	}
+	if n <= 0 {
+		panic("tcp: SetFlowBytes needs positive bytes")
+	}
+	t.cfg.FlowBytes = n
+}
+
+// transmit sends one segment.
+func (t *Src) transmit(seq int64, size int, isRetx bool) {
+	p := netem.DataPacket(t.id, seq, size, t.sim.Now(), t.fwd)
+	p.Retx = isRetx
+	t.stats.SentPkts++
+	if isRetx {
+		t.stats.RetxPkts++
+	}
+	p.SendOn()
+}
+
+// armRTO (re)schedules the retransmission timer if data is outstanding.
+func (t *Src) armRTO() {
+	if t.flight() <= 0 || t.done {
+		if t.rtoEvent != nil {
+			t.sim.Cancel(t.rtoEvent)
+		}
+		return
+	}
+	deadline := t.sim.Now() + t.rto()
+	if t.rtoEvent == nil {
+		t.rtoEvent = t.sim.At(deadline, t.onRTO)
+	} else {
+		t.sim.Reschedule(t.rtoEvent, deadline)
+	}
+}
+
+// rto computes the current retransmission timeout with backoff.
+func (t *Src) rto() sim.Time {
+	var base sim.Time
+	if !t.rttSeen {
+		base = sim.Second // RFC 6298 initial RTO
+	} else {
+		base = sim.Time(t.srtt + 4*t.rttvar)
+	}
+	if base < t.cfg.MinRTO {
+		base = t.cfg.MinRTO
+	}
+	for i := 0; i < t.rtoBackoff; i++ {
+		base *= 2
+		if base >= t.cfg.MaxRTO {
+			return t.cfg.MaxRTO
+		}
+	}
+	if base > t.cfg.MaxRTO {
+		base = t.cfg.MaxRTO
+	}
+	return base
+}
+
+// onRTO handles a retransmission timeout: multiplicative decrease to 1 MSS,
+// slow start, go-back-N from the last cumulative ACK.
+func (t *Src) onRTO() {
+	if t.done || t.flight() <= 0 {
+		return
+	}
+	mss := float64(t.cfg.MSS)
+	t.stats.Timeouts++
+	t.rtoBackoff++
+	t.ssthresh = math.Max(t.cwnd/2, t.cfg.MinSsthresh*mss)
+	t.cwnd = mss
+	t.inRecovery = false
+	t.dupAcks = 0
+	if t.hook != nil {
+		t.hook.OnLoss()
+	}
+	// Go-back-N: everything unacknowledged is resent as the window reopens,
+	// except ranges the receiver has SACKed (kept: our receiver never
+	// reneges). Mark the region as retransmission territory.
+	t.retxNext = t.lastAcked
+	t.recAcks = 0
+	t.retxMark = t.highestSent
+	t.highestSent = t.lastAcked
+	t.sendMore()
+}
+
+// Recv delivers an ACK to the sender (Src is the last hop of the reverse
+// route).
+func (t *Src) Recv(p *netem.Packet) {
+	if !p.Ack {
+		panic(fmt.Sprintf("tcp: %s received non-ACK", t.name))
+	}
+	if t.done {
+		return
+	}
+	t.mergeSack(p.Sack)
+	ackSeq := p.Seq
+	switch {
+	case ackSeq > t.lastAcked:
+		t.newAck(ackSeq, p)
+	case ackSeq == t.lastAcked && t.flight() > 0:
+		t.dupAck()
+	default:
+		// Stale ACK: ignore.
+	}
+}
+
+// mergeSack folds the receiver's SACK report into the scoreboard, keeping it
+// sorted, disjoint, and clipped to ranges above the cumulative ACK point.
+func (t *Src) mergeSack(blocks []netem.Block) {
+	for _, b := range blocks {
+		if b.End <= t.lastAcked {
+			continue
+		}
+		if b.Start < t.lastAcked {
+			b.Start = t.lastAcked
+		}
+		t.insertBlock(b)
+	}
+}
+
+// insertBlock adds one range to the scoreboard, merging overlaps.
+func (t *Src) insertBlock(b netem.Block) {
+	sb := t.scoreboard
+	i := 0
+	for i < len(sb) && sb[i].End < b.Start {
+		i++
+	}
+	j := i
+	for j < len(sb) && sb[j].Start <= b.End {
+		if sb[j].Start < b.Start {
+			b.Start = sb[j].Start
+		}
+		if sb[j].End > b.End {
+			b.End = sb[j].End
+		}
+		j++
+	}
+	if i == j {
+		sb = append(sb, netem.Block{})
+		copy(sb[i+1:], sb[i:])
+		sb[i] = b
+	} else {
+		sb[i] = b
+		sb = append(sb[:i+1], sb[j:]...)
+	}
+	t.scoreboard = sb
+}
+
+// pruneScoreboard discards ranges at or below the cumulative ACK point.
+func (t *Src) pruneScoreboard() {
+	i := 0
+	for i < len(t.scoreboard) && t.scoreboard[i].End <= t.lastAcked {
+		i++
+	}
+	if i > 0 {
+		t.scoreboard = append(t.scoreboard[:0], t.scoreboard[i:]...)
+	}
+	if len(t.scoreboard) > 0 && t.scoreboard[0].Start < t.lastAcked {
+		t.scoreboard[0].Start = t.lastAcked
+	}
+}
+
+// nextHole returns the lowest byte the receiver is known to be missing that
+// we have not yet retransmitted this episode, or -1 if none is known.
+func (t *Src) nextHole() int64 {
+	cand := t.lastAcked
+	if t.retxNext > cand {
+		cand = t.retxNext
+	}
+	if len(t.scoreboard) == 0 {
+		// No SACK information: the only safe retransmission is the
+		// cumulative ACK point itself, once.
+		if t.inRecovery && cand == t.lastAcked && cand < t.recoverSeq {
+			return cand
+		}
+		return -1
+	}
+	for _, b := range t.scoreboard {
+		if cand < b.Start {
+			return cand
+		}
+		if b.End > cand {
+			cand = b.End
+		}
+	}
+	return -1
+}
+
+// sendOneRecovery transmits one segment during fast recovery: the next known
+// hole if there is one, otherwise new data to keep the ACK clock running.
+func (t *Src) sendOneRecovery() {
+	if h := t.nextHole(); h >= 0 {
+		size := t.segSizeAt(h)
+		if size > 0 {
+			t.transmit(h, size, true)
+			t.retxNext = h + int64(size)
+			return
+		}
+	}
+	if t.cfg.FlowBytes > 0 && t.highestSent >= t.cfg.FlowBytes {
+		return
+	}
+	size := int64(t.segSizeAt(t.highestSent))
+	t.transmit(t.highestSent, int(size), false)
+	t.highestSent += size
+}
+
+// newAck processes cumulative-ACK progress.
+func (t *Src) newAck(ackSeq int64, p *netem.Packet) {
+	mss := float64(t.cfg.MSS)
+	acked := ackSeq - t.lastAcked
+	t.lastAcked = ackSeq
+	t.stats.AckedBytes = ackSeq
+	t.dupAcks = 0
+	t.rtoBackoff = 0
+	t.pruneScoreboard()
+
+	// RTT sample (Karn's rule: skip if the echoed segment was a retransmit).
+	if !p.Retx {
+		t.rttSample(float64(t.sim.Now() - p.EchoTS))
+	}
+
+	if t.inRecovery {
+		if ackSeq >= t.recoverSeq {
+			// Full ACK: leave recovery at the halved window.
+			t.inRecovery = false
+			t.cwnd = math.Max(t.ssthresh, mss)
+			t.retxNext = t.lastAcked
+		} else {
+			// Partial ACK: the retransmitted hole arrived; immediately
+			// repair the next one and stay in recovery.
+			t.sendOneRecovery()
+			t.armRTO()
+			return
+		}
+	} else {
+		t.grow(int(acked))
+	}
+
+	if t.cfg.FlowBytes > 0 && t.lastAcked >= t.cfg.FlowBytes && t.OnStalled == nil {
+		t.finish()
+		return
+	}
+	t.sendMore()
+}
+
+// grow applies slow start or congestion avoidance for acked bytes.
+func (t *Src) grow(acked int) {
+	mss := float64(t.cfg.MSS)
+	inCA := t.cwnd >= t.ssthresh
+	var inc float64
+	if t.hook != nil {
+		inc = t.hook.OnAck(acked, inCA)
+	} else if inCA {
+		// Reno: one MSS per window per RTT. In packet units that is
+		// ackedBytes/cwndBytes per ACK.
+		inc = float64(acked) / t.cwnd
+	}
+	if inCA {
+		// Cap at Reno aggressiveness: never grow (or shrink) faster than
+		// one packet per acked packet. Negative increases are legitimate:
+		// OLIA's α term slows, and may reverse, growth on max-window paths.
+		if !t.cfg.NoIncreaseCap {
+			maxInc := float64(acked) / mss
+			if inc > maxInc {
+				inc = maxInc
+			}
+			if inc < -maxInc {
+				inc = -maxInc
+			}
+		}
+		t.cwnd += inc * mss
+	} else {
+		// Slow start: exponential growth, capped at ssthresh overshoot.
+		t.cwnd += float64(acked)
+		if t.cwnd > t.ssthresh && t.hook != nil {
+			t.cwnd = t.ssthresh
+		}
+	}
+	if t.cwnd < mss {
+		t.cwnd = mss
+	}
+}
+
+// dupAck processes a duplicate acknowledgment.
+func (t *Src) dupAck() {
+	mss := float64(t.cfg.MSS)
+	t.dupAcks++
+	if t.inRecovery {
+		// Rate halving: one (re)transmission per two ACKs keeps roughly
+		// half the pre-loss window in flight through the episode.
+		t.recAcks++
+		if t.recAcks%2 == 0 {
+			t.sendOneRecovery()
+		}
+		return
+	}
+	// Require three duplicates plus corroborating SACK evidence of a hole:
+	// dupACKs caused by our own duplicate (spuriously retransmitted)
+	// segments arrive while the receiver buffers nothing out of order, and
+	// must not halve the window (real stacks use DSACK similarly).
+	if t.dupAcks < 3 || len(t.scoreboard) == 0 {
+		return
+	}
+	// Enter fast recovery: halve once per episode (coupled algorithms are
+	// notified) and repair the first hole.
+	t.stats.FastRecover++
+	if t.hook != nil {
+		t.hook.OnLoss()
+	}
+	newWnd := t.cwnd / 2
+	if r, ok := t.hook.(WindowReducer); ok {
+		newWnd = r.ReduceTo(t.cwnd)
+	}
+	t.ssthresh = math.Max(newWnd, t.cfg.MinSsthresh*mss)
+	t.cwnd = math.Max(t.ssthresh, mss)
+	t.inRecovery = true
+	t.recoverSeq = t.highestSent
+	t.recAcks = 0
+	t.retxNext = t.lastAcked
+	size := t.segSizeAt(t.lastAcked)
+	t.transmit(t.lastAcked, size, true)
+	t.retxNext = t.lastAcked + int64(size)
+	t.armRTO()
+}
+
+// rttSample feeds one RTT measurement into the Jacobson/Karels estimator.
+func (t *Src) rttSample(m float64) {
+	if m <= 0 {
+		return
+	}
+	if !t.rttSeen {
+		t.rttSeen = true
+		t.srtt = m
+		t.rttvar = m / 2
+		return
+	}
+	diff := t.srtt - m
+	if diff < 0 {
+		diff = -diff
+	}
+	t.rttvar = 0.75*t.rttvar + 0.25*diff
+	t.srtt = 0.875*t.srtt + 0.125*m
+}
+
+// finish marks a finite flow complete.
+func (t *Src) finish() {
+	t.done = true
+	t.doneAt = t.sim.Now()
+	if t.rtoEvent != nil {
+		t.sim.Cancel(t.rtoEvent)
+	}
+	if t.OnComplete != nil {
+		t.OnComplete(t)
+	}
+}
+
+// Sink is the receiving endpoint: it reassembles the cumulative ACK point
+// from possibly out-of-order segments and acknowledges every arrival, like
+// htsim's TcpSink.
+type Sink struct {
+	sim *sim.Sim
+	rev *netem.Route // reverse route, ending at the Src
+
+	cumAck int64 // next expected byte
+	ooo    []seg // out-of-order segments, sorted by seq
+	bytes  int64 // total goodput delivered in order
+
+	// OnInOrder, if set, observes each cumulative-ACK advance (bytes newly
+	// delivered in order). mptcp.Stream uses it for data-level reassembly.
+	OnInOrder func(n int64)
+
+	// Delayed-ACK state (RFC 1122/5681): at most every second full segment
+	// is ACKed, with a timeout bounding the delay. Out-of-order and
+	// duplicate segments are ACKed immediately. Zero delay disables.
+	delAck   sim.Time
+	unacked  int
+	lastEcho sim.Time
+	delAckEv *sim.Event
+	flowID   int
+}
+
+type seg struct {
+	seq  int64
+	size int64
+}
+
+// NewSink builds a receiver.
+func NewSink(s *sim.Sim) *Sink { return &Sink{sim: s} }
+
+// SetDelayedAck enables RFC 1122 delayed acknowledgments with the given
+// maximum delay (Linux uses up to 40 ms). Zero disables (the default, which
+// is also htsim's behavior: one ACK per segment).
+func (k *Sink) SetDelayedAck(d sim.Time) {
+	if d < 0 {
+		panic("tcp: negative delayed-ACK timeout")
+	}
+	k.delAck = d
+}
+
+// SetRoute installs the reverse (ACK) route, which must end at the Src.
+func (k *Sink) SetRoute(r *netem.Route) { k.rev = r }
+
+// CumAck reports the in-order delivery point (bytes).
+func (k *Sink) CumAck() int64 { return k.cumAck }
+
+// GoodputBytes reports bytes delivered in order.
+func (k *Sink) GoodputBytes() int64 { return k.bytes }
+
+// Recv ingests a data segment and emits a cumulative ACK.
+func (k *Sink) Recv(p *netem.Packet) {
+	if p.Ack {
+		panic("tcp: sink received an ACK")
+	}
+	end := p.Seq + int64(p.Size)
+	before := k.cumAck
+	switch {
+	case p.Seq <= k.cumAck && end > k.cumAck:
+		k.bytes += end - k.cumAck
+		k.cumAck = end
+		k.drainOOO()
+	case p.Seq > k.cumAck:
+		k.insertOOO(p.Seq, int64(p.Size))
+	default:
+		// Fully duplicate segment: ACK again (generates dupACK at sender).
+	}
+	if k.OnInOrder != nil && k.cumAck > before {
+		k.OnInOrder(k.cumAck - before)
+	}
+	k.flowID = p.FlowID
+	k.lastEcho = p.SentAt
+	inOrderAdvance := k.cumAck > before && len(k.ooo) == 0
+	if k.delAck > 0 && inOrderAdvance && !p.Retx {
+		// Delayed ACK: hold back the first of every pair, bounded by the
+		// timer. Everything irregular (OOO, duplicates, retransmitted
+		// fills) is acknowledged immediately below.
+		k.unacked++
+		if k.unacked == 1 {
+			if k.delAckEv == nil {
+				k.delAckEv = k.sim.At(k.sim.Now()+k.delAck, k.fireDelAck)
+			} else {
+				k.sim.Reschedule(k.delAckEv, k.sim.Now()+k.delAck)
+			}
+			return
+		}
+	}
+	k.sendAck(p.SentAt, p.Retx)
+}
+
+// fireDelAck emits the held-back acknowledgment when the timer expires.
+func (k *Sink) fireDelAck() {
+	if k.unacked > 0 {
+		k.sendAck(k.lastEcho, false)
+	}
+}
+
+// sendAck emits a cumulative ACK with the current SACK report.
+func (k *Sink) sendAck(echo sim.Time, retx bool) {
+	k.unacked = 0
+	if k.delAckEv != nil {
+		k.sim.Cancel(k.delAckEv)
+	}
+	ack := netem.AckPacket(k.flowID, k.cumAck, echo, k.sim.Now(), k.rev)
+	ack.Retx = retx
+	ack.Sack = k.sackBlocks()
+	ack.SendOn()
+}
+
+// maxSackBlocks bounds the per-ACK SACK report, as real TCP options do. The
+// lowest blocks are reported first because the sender repairs holes in
+// ascending order.
+const maxSackBlocks = 8
+
+// sackBlocks merges buffered out-of-order segments into disjoint ranges.
+func (k *Sink) sackBlocks() []netem.Block {
+	if len(k.ooo) == 0 {
+		return nil
+	}
+	blocks := make([]netem.Block, 0, min(len(k.ooo), maxSackBlocks))
+	cur := netem.Block{Start: k.ooo[0].seq, End: k.ooo[0].seq + k.ooo[0].size}
+	for _, s := range k.ooo[1:] {
+		if s.seq <= cur.End {
+			if e := s.seq + s.size; e > cur.End {
+				cur.End = e
+			}
+			continue
+		}
+		blocks = append(blocks, cur)
+		if len(blocks) == maxSackBlocks {
+			return blocks
+		}
+		cur = netem.Block{Start: s.seq, End: s.seq + s.size}
+	}
+	return append(blocks, cur)
+}
+
+// insertOOO records an out-of-order segment (idempotent).
+func (k *Sink) insertOOO(seq, size int64) {
+	i := sort.Search(len(k.ooo), func(i int) bool { return k.ooo[i].seq >= seq })
+	if i < len(k.ooo) && k.ooo[i].seq == seq {
+		return
+	}
+	k.ooo = append(k.ooo, seg{})
+	copy(k.ooo[i+1:], k.ooo[i:])
+	k.ooo[i] = seg{seq, size}
+}
+
+// drainOOO advances the cumulative ACK over contiguous buffered segments.
+func (k *Sink) drainOOO() {
+	i := 0
+	for i < len(k.ooo) {
+		s := k.ooo[i]
+		if s.seq > k.cumAck {
+			break
+		}
+		if end := s.seq + s.size; end > k.cumAck {
+			k.bytes += end - k.cumAck
+			k.cumAck = end
+		}
+		i++
+	}
+	if i > 0 {
+		k.ooo = append(k.ooo[:0], k.ooo[i:]...)
+	}
+}

@@ -1,0 +1,370 @@
+// Package topo builds the paper's experiment topologies:
+//
+//   - Scenario A (Fig. 1a): type1 MPTCP users reach a streaming server over
+//     a private AP and a shared AP; type2 TCP users share the shared AP.
+//   - Scenario B (Fig. 3): multi-homed Blue users across ISPs X and T; Red
+//     users on T, optionally upgrading to a second path through X and T.
+//   - Scenario C (Fig. 5a): multipath users across two APs, single-path
+//     users on AP2.
+//   - TwoLink (Fig. 6): one multipath user over two bottlenecks shared with
+//     regular TCP flows — the illustrative flappiness/responsiveness rig.
+//   - FatTree (§VI-B, Figs. 13-14): the k-ary data-center fabric htsim
+//     simulates, including the 4:1 oversubscribed variant.
+//
+// All testbed scenarios use the paper's RED queues at the bottlenecks, a
+// propagation RTT of 80 ms (queueing raises the effective RTT to ≈150 ms as
+// in §III), and randomized flow start order.
+package topo
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+)
+
+// OneWayDelay is the propagation delay applied to each direction of every
+// testbed path, giving the paper's 80 ms propagation RTT.
+const OneWayDelay = 40 * sim.Millisecond
+
+// startSpread is the window over which flow starts are randomized (the
+// paper initiates Iperf sessions in random order).
+const startSpread = sim.Second
+
+// ControllerFactory builds a fresh controller per connection (controllers
+// such as OLIA carry per-connection state).
+type ControllerFactory func() core.Controller
+
+// Factories for the algorithms under study, keyed by the names used in the
+// paper's figures.
+var Controllers = map[string]ControllerFactory{
+	"olia":         func() core.Controller { return core.NewOLIA() },
+	"lia":          func() core.Controller { return core.NewLIA() },
+	"uncoupled":    func() core.Controller { return core.NewUncoupled() },
+	"fullycoupled": func() core.Controller { return core.NewFullyCoupled() },
+}
+
+// mbps converts the paper's Mb/s capacities to bits per second.
+func mbps(c float64) int64 { return int64(c * 1e6) }
+
+// revLink builds the shared high-capacity return path used for ACK traffic
+// in the testbed scenarios (the testbed's reverse direction is uncongested).
+func revLink(s *sim.Sim, name string) *netem.Link {
+	return netem.NewLink(s, netem.LinkConfig{
+		RateBps:      1_000_000_000,
+		Delay:        OneWayDelay,
+		Kind:         netem.QueueDropTail,
+		DropTailPkts: 10_000,
+	}, name)
+}
+
+// bottleneck builds a RED-queued unidirectional bottleneck link of capacity
+// c Mb/s with zero pipe delay (propagation lives in per-path trim pipes so
+// that multi-bottleneck paths keep the same RTT as single-bottleneck ones).
+func bottleneck(s *sim.Sim, c float64, name string) *netem.Link {
+	return netem.NewLink(s, netem.LinkConfig{
+		RateBps: mbps(c),
+		Delay:   0,
+		Kind:    netem.QueueRED,
+	}, name)
+}
+
+// trim returns the per-path forward propagation pipe.
+func trim(s *sim.Sim, name string) *netem.Pipe {
+	return netem.NewPipe(s, OneWayDelay, name)
+}
+
+// jitterStart returns a randomized start time within the spread window.
+func jitterStart(s *sim.Sim) sim.Time {
+	return sim.Time(s.Rand().Int63n(int64(startSpread)))
+}
+
+// TCPUser bundles one regular TCP user's endpoints.
+type TCPUser struct {
+	Src  *tcp.Src
+	Sink *tcp.Sink
+}
+
+// Goodput reports in-order bytes delivered to this user.
+func (u TCPUser) Goodput() int64 { return u.Sink.GoodputBytes() }
+
+// newTCPUser wires a single-path TCP download over the given forward hops.
+func newTCPUser(s *sim.Sim, id int, name string, fwd []netem.Node, rev *netem.Link) TCPUser {
+	src := tcp.NewSrc(s, id, name, tcp.Config{})
+	sink := tcp.NewSink(s)
+	src.SetRoute(netem.NewRoute(fwd...).Append(sink))
+	sink.SetRoute(netem.NewRoute(rev.Q, rev.P, src))
+	src.Start(jitterStart(s))
+	return TCPUser{src, sink}
+}
+
+// mpUser wires an MPTCP download whose subflows traverse the given hop
+// lists, and starts it at a randomized time.
+func mpUser(s *sim.Sim, name string, ctrl core.Controller, paths [][]netem.Node, rev *netem.Link, baseID int) *mptcp.Conn {
+	conn := mptcp.New(s, name, ctrl, tcp.Config{})
+	for i, hops := range paths {
+		sf := conn.AddSubflow(baseID + i)
+		sf.SetRoutes(
+			netem.NewRoute(hops...).Append(sf.Sink),
+			netem.NewRoute(rev.Q, rev.P, sf.Src),
+		)
+	}
+	conn.Start(jitterStart(s))
+	return conn
+}
+
+// ScenarioAConfig parameterizes Fig. 1(a). Capacities are per-user (the
+// server link has capacity N1·C1, the shared AP N2·C2), in Mb/s.
+type ScenarioAConfig struct {
+	N1, N2 int
+	C1, C2 float64
+	// Ctrl builds the coupling algorithm for each type1 user. Ignored when
+	// SinglePath is set.
+	Ctrl ControllerFactory
+	// SinglePath keeps type1 users on their private path only (the
+	// "before upgrading to MPTCP" baseline).
+	SinglePath bool
+	Seed       int64
+}
+
+// ScenarioA is the built Fig. 1(a) network.
+type ScenarioA struct {
+	S *sim.Sim
+	// Type1 are the multipath users (nil when SinglePath; see Type1SP).
+	Type1 []*mptcp.Conn
+	// Type1SP are the single-path baseline type1 users.
+	Type1SP []TCPUser
+	// Type2 are the regular TCP users behind the shared AP.
+	Type2 []TCPUser
+	// ServerQ and SharedQ are the two bottleneck queues (p1 and p2).
+	ServerQ, SharedQ netem.Queue
+	Cfg              ScenarioAConfig
+}
+
+// BuildScenarioA assembles the Fig. 1(a) network.
+//
+// Type1 users download from the streaming server whose access link has
+// capacity N1·C1; their first path continues over a private (uncongested)
+// AP, their second over the shared AP of capacity N2·C2. Both type1 paths
+// cross the server link, so their loss probabilities are p1 and p1+p2.
+// Type2 users download from elsewhere on the Internet across the shared AP
+// only (loss p2).
+func BuildScenarioA(cfg ScenarioAConfig) *ScenarioA {
+	if cfg.N1 < 1 || cfg.N2 < 1 || cfg.C1 <= 0 || cfg.C2 <= 0 {
+		panic(fmt.Sprintf("topo: bad scenario A config %+v", cfg))
+	}
+	s := sim.New(cfg.Seed)
+	server := bottleneck(s, float64(cfg.N1)*cfg.C1, "server")
+	shared := bottleneck(s, float64(cfg.N2)*cfg.C2, "sharedAP")
+	rev := revLink(s, "rev")
+	a := &ScenarioA{S: s, ServerQ: server.Q, SharedQ: shared.Q, Cfg: cfg}
+
+	for i := 0; i < cfg.N1; i++ {
+		private := []netem.Node{trim(s, "t1priv"), server.Q, server.P}
+		viaShared := []netem.Node{trim(s, "t1shared"), server.Q, server.P, shared.Q, shared.P}
+		if cfg.SinglePath {
+			a.Type1SP = append(a.Type1SP, newTCPUser(s, 1000+i, fmt.Sprintf("type1-%d", i), private, rev))
+			continue
+		}
+		conn := mpUser(s, fmt.Sprintf("type1-%d", i), cfg.Ctrl(),
+			[][]netem.Node{private, viaShared}, rev, 1000+2*i)
+		a.Type1 = append(a.Type1, conn)
+	}
+	for i := 0; i < cfg.N2; i++ {
+		path := []netem.Node{trim(s, "t2"), shared.Q, shared.P}
+		a.Type2 = append(a.Type2, newTCPUser(s, 2000+i, fmt.Sprintf("type2-%d", i), path, rev))
+	}
+	return a
+}
+
+// ScenarioBConfig parameterizes Fig. 3. CX and CT are the ISP bottleneck
+// capacities in Mb/s; N users of each color.
+type ScenarioBConfig struct {
+	N      int
+	CX, CT float64
+	// Ctrl builds the coupling algorithm for every multipath connection.
+	Ctrl ControllerFactory
+	// RedMultipath upgrades Red users to MPTCP with the dashed X+T path.
+	RedMultipath bool
+	Seed         int64
+}
+
+// ScenarioB is the built Fig. 3 network.
+type ScenarioB struct {
+	S    *sim.Sim
+	Blue []*mptcp.Conn
+	// RedMP holds Red users when upgraded, RedSP otherwise.
+	RedMP  []*mptcp.Conn
+	RedSP  []TCPUser
+	XQ, TQ netem.Queue
+	Cfg    ScenarioBConfig
+}
+
+// BuildScenarioB assembles the Fig. 3 multi-homing network. The operative
+// path structure implied by the paper's capacity constraints
+// (CX = N(x1+y1), CT = N(x2+y1+y2), Appendix B) is: Blue path 1 crosses
+// bottleneck X; Blue path 2 crosses bottleneck T; Red path 2 crosses T; and
+// Red's upgrade path (dashed in Fig. 3) crosses X then T in series. The
+// cut-set bound of CX+CT quoted in §III-B follows.
+func BuildScenarioB(cfg ScenarioBConfig) *ScenarioB {
+	if cfg.N < 1 || cfg.CX <= 0 || cfg.CT <= 0 {
+		panic(fmt.Sprintf("topo: bad scenario B config %+v", cfg))
+	}
+	s := sim.New(cfg.Seed)
+	x := bottleneck(s, cfg.CX, "ispX")
+	tt := bottleneck(s, cfg.CT, "ispT")
+	rev := revLink(s, "rev")
+	b := &ScenarioB{S: s, XQ: x.Q, TQ: tt.Q, Cfg: cfg}
+
+	for i := 0; i < cfg.N; i++ {
+		viaX := []netem.Node{trim(s, "blueX"), x.Q, x.P}
+		viaT := []netem.Node{trim(s, "blueT"), tt.Q, tt.P}
+		b.Blue = append(b.Blue, mpUser(s, fmt.Sprintf("blue-%d", i), cfg.Ctrl(),
+			[][]netem.Node{viaX, viaT}, rev, 3000+2*i))
+	}
+	for i := 0; i < cfg.N; i++ {
+		viaT := []netem.Node{trim(s, "redT"), tt.Q, tt.P}
+		if !cfg.RedMultipath {
+			b.RedSP = append(b.RedSP, newTCPUser(s, 4000+i, fmt.Sprintf("red-%d", i), viaT, rev))
+			continue
+		}
+		viaXT := []netem.Node{trim(s, "redXT"), x.Q, x.P, tt.Q, tt.P}
+		b.RedMP = append(b.RedMP, mpUser(s, fmt.Sprintf("red-%d", i), cfg.Ctrl(),
+			[][]netem.Node{viaXT, viaT}, rev, 5000+2*i))
+	}
+	return b
+}
+
+// ScenarioCConfig parameterizes Fig. 5(a): N1 multipath users across both
+// APs, N2 single-path users on AP2; AP capacities N1·C1 and N2·C2 Mb/s.
+type ScenarioCConfig struct {
+	N1, N2 int
+	C1, C2 float64
+	Ctrl   ControllerFactory
+	Seed   int64
+}
+
+// ScenarioC is the built Fig. 5(a) network.
+type ScenarioC struct {
+	S          *sim.Sim
+	Multi      []*mptcp.Conn
+	Single     []TCPUser
+	AP1Q, AP2Q netem.Queue
+	Cfg        ScenarioCConfig
+}
+
+// BuildScenarioC assembles the Fig. 5(a) network: unlike Scenario A, the two
+// multipath subflow paths are disjoint (losses p1 and p2 respectively).
+func BuildScenarioC(cfg ScenarioCConfig) *ScenarioC {
+	if cfg.N1 < 1 || cfg.N2 < 1 || cfg.C1 <= 0 || cfg.C2 <= 0 {
+		panic(fmt.Sprintf("topo: bad scenario C config %+v", cfg))
+	}
+	s := sim.New(cfg.Seed)
+	ap1 := bottleneck(s, float64(cfg.N1)*cfg.C1, "ap1")
+	ap2 := bottleneck(s, float64(cfg.N2)*cfg.C2, "ap2")
+	rev := revLink(s, "rev")
+	c := &ScenarioC{S: s, AP1Q: ap1.Q, AP2Q: ap2.Q, Cfg: cfg}
+
+	for i := 0; i < cfg.N1; i++ {
+		p1 := []netem.Node{trim(s, "mp1"), ap1.Q, ap1.P}
+		p2 := []netem.Node{trim(s, "mp2"), ap2.Q, ap2.P}
+		c.Multi = append(c.Multi, mpUser(s, fmt.Sprintf("multi-%d", i), cfg.Ctrl(),
+			[][]netem.Node{p1, p2}, rev, 6000+2*i))
+	}
+	for i := 0; i < cfg.N2; i++ {
+		path := []netem.Node{trim(s, "sp"), ap2.Q, ap2.P}
+		c.Single = append(c.Single, newTCPUser(s, 7000+i, fmt.Sprintf("single-%d", i), path, rev))
+	}
+	return c
+}
+
+// TwoLinkConfig parameterizes Fig. 6: one multipath user over two bottleneck
+// links of capacity C Mb/s, shared with NTCP1 and NTCP2 regular TCP flows.
+type TwoLinkConfig struct {
+	C            float64
+	NTCP1, NTCP2 int
+	Ctrl         ControllerFactory
+	Seed         int64
+	// Kind selects the bottleneck queue discipline. The zero value is the
+	// paper's RED configuration; QueueDropTail reproduces the htsim-style
+	// alternative studied in §III/VI-B.
+	Kind netem.QueueKind
+	// SubflowCfg overrides the TCP configuration of the multipath user's
+	// subflows (ablations); zero value uses defaults.
+	SubflowCfg tcp.Config
+	// KeepSlowStart preserves normal slow start on the multipath subflows
+	// instead of the §IV-B ssthresh=1 setting (ablation).
+	KeepSlowStart bool
+	// OWD2 overrides the one-way propagation delay of every path crossing
+	// link 2 (Remark-3 RTT-heterogeneity experiments). Zero keeps the
+	// standard OneWayDelay.
+	OWD2 sim.Time
+}
+
+// TwoLink is the built Fig. 6 rig.
+type TwoLink struct {
+	S      *sim.Sim
+	MP     *mptcp.Conn
+	TCP1   []TCPUser
+	TCP2   []TCPUser
+	Q1, Q2 netem.Queue
+	// L1, L2 and Rev expose the full links so extra endpoints (serial
+	// transfer experiments, crowds) can be wired over the same bottlenecks.
+	L1, L2, Rev *netem.Link
+	Cfg         TwoLinkConfig
+}
+
+// NewTrimPipe returns a fresh forward propagation pipe with the standard
+// testbed one-way delay, for callers adding their own paths to a rig.
+func NewTrimPipe(s *sim.Sim) *netem.Pipe { return trim(s, "trim") }
+
+// BuildTwoLink assembles the Fig. 6 illustration network. The multipath
+// connection is created but not started, so callers can attach tracing
+// before traffic begins; call tl.MP.Start.
+func BuildTwoLink(cfg TwoLinkConfig) *TwoLink {
+	if cfg.C <= 0 || cfg.NTCP1 < 0 || cfg.NTCP2 < 0 {
+		panic(fmt.Sprintf("topo: bad two-link config %+v", cfg))
+	}
+	s := sim.New(cfg.Seed)
+	mk := func(name string) *netem.Link {
+		return netem.NewLink(s, netem.LinkConfig{
+			RateBps: mbps(cfg.C),
+			Delay:   0,
+			Kind:    cfg.Kind,
+		}, name)
+	}
+	l1 := mk("link1")
+	l2 := mk("link2")
+	rev := revLink(s, "rev")
+	tl := &TwoLink{S: s, Q1: l1.Q, Q2: l2.Q, L1: l1, L2: l2, Rev: rev, Cfg: cfg}
+
+	for i := 0; i < cfg.NTCP1; i++ {
+		tl.TCP1 = append(tl.TCP1, newTCPUser(s, 100+i, "tcp1", []netem.Node{trim(s, "t"), l1.Q, l1.P}, rev))
+	}
+	owd2 := OneWayDelay
+	if cfg.OWD2 != 0 {
+		owd2 = cfg.OWD2
+	}
+	trim2 := func(name string) *netem.Pipe { return netem.NewPipe(s, owd2, name) }
+	for i := 0; i < cfg.NTCP2; i++ {
+		tl.TCP2 = append(tl.TCP2, newTCPUser(s, 200+i, "tcp2", []netem.Node{trim2("t"), l2.Q, l2.P}, rev))
+	}
+	conn := mptcp.New(s, "mp", cfg.Ctrl(), cfg.SubflowCfg)
+	conn.SetKeepSlowStart(cfg.KeepSlowStart)
+	for i, l := range []*netem.Link{l1, l2} {
+		fwd := netem.NewRoute(trim(s, "mp"), l.Q, l.P)
+		if i == 1 {
+			fwd = netem.NewRoute(trim2("mp"), l.Q, l.P)
+		}
+		sf := conn.AddSubflow(300 + i)
+		sf.SetRoutes(
+			fwd.Append(sf.Sink),
+			netem.NewRoute(rev.Q, rev.P, sf.Src),
+		)
+	}
+	tl.MP = conn
+	return tl
+}

@@ -1,0 +1,258 @@
+package topo
+
+import (
+	"testing"
+
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/stats"
+)
+
+const (
+	testWarmup  = 5 * sim.Second
+	testMeasure = 55 * sim.Second
+)
+
+// runScenario advances the simulation through warmup+measure and returns a
+// goodput window accessor.
+func measureWindow(s *sim.Sim, snapshot func() []int64) (before, after []int64) {
+	s.RunUntil(testWarmup)
+	before = snapshot()
+	s.RunUntil(testWarmup + testMeasure)
+	after = snapshot()
+	return
+}
+
+func TestScenarioAPenalizesType2UnderLIA(t *testing.T) {
+	a := BuildScenarioA(ScenarioAConfig{
+		N1: 10, N2: 10, C1: 1.0, C2: 1.0,
+		Ctrl: Controllers["lia"], Seed: 1,
+	})
+	snap := func() []int64 {
+		var out []int64
+		for _, c := range a.Type1 {
+			out = append(out, c.GoodputBytes())
+		}
+		for _, u := range a.Type2 {
+			out = append(out, u.Goodput())
+		}
+		return out
+	}
+	before, after := measureWindow(a.S, snap)
+	secs := testMeasure.Sec()
+	var t1, t2 float64
+	for i := 0; i < 10; i++ {
+		t1 += stats.Mbps(after[i]-before[i], secs) / 10
+		t2 += stats.Mbps(after[10+i]-before[10+i], secs) / 10
+	}
+	// Type1 users are capped by the server link at C1 = 1 Mb/s each.
+	if t1 < 0.6 || t1 > 1.1 {
+		t.Errorf("type1 %.2f Mb/s, want ≈1 (server-limited)", t1)
+	}
+	// The paper reports ≈30% degradation for type2 at N1=N2: they must be
+	// visibly below their fair 1 Mb/s.
+	if t2 > 0.9 {
+		t.Errorf("type2 %.2f Mb/s: LIA should depress type2 throughput", t2)
+	}
+	if p2 := a.SharedQ.Stats().LossProb(); p2 <= 0 {
+		t.Error("no congestion at shared AP")
+	}
+}
+
+func TestScenarioAOLIARelievesType2(t *testing.T) {
+	run := func(name string) (t2 float64, p2 float64) {
+		a := BuildScenarioA(ScenarioAConfig{
+			N1: 10, N2: 10, C1: 1.0, C2: 1.0,
+			Ctrl: Controllers[name], Seed: 1,
+		})
+		snap := func() []int64 {
+			var out []int64
+			for _, u := range a.Type2 {
+				out = append(out, u.Goodput())
+			}
+			return out
+		}
+		q0 := a.SharedQ.Stats()
+		before, after := measureWindow(a.S, snap)
+		q1 := a.SharedQ.Stats()
+		for i := range before {
+			t2 += stats.Mbps(after[i]-before[i], testMeasure.Sec()) / float64(len(before))
+		}
+		return t2, q1.Sub(q0).LossProb()
+	}
+	t2LIA, p2LIA := run("lia")
+	t2OLIA, p2OLIA := run("olia")
+	if t2OLIA <= t2LIA {
+		t.Errorf("type2 under OLIA (%.2f) not better than LIA (%.2f)", t2OLIA, t2LIA)
+	}
+	if p2OLIA >= p2LIA {
+		t.Errorf("shared-AP loss under OLIA (%.4f) not below LIA (%.4f)", p2OLIA, p2LIA)
+	}
+}
+
+func TestScenarioCOLIAFairerToSinglePath(t *testing.T) {
+	run := func(name string) (single float64) {
+		c := BuildScenarioC(ScenarioCConfig{
+			N1: 20, N2: 10, C1: 2.0, C2: 1.0,
+			Ctrl: Controllers[name], Seed: 2,
+		})
+		snap := func() []int64 {
+			var out []int64
+			for _, u := range c.Single {
+				out = append(out, u.Goodput())
+			}
+			return out
+		}
+		before, after := measureWindow(c.S, snap)
+		for i := range before {
+			single += stats.Mbps(after[i]-before[i], testMeasure.Sec()) / float64(len(before))
+		}
+		return single
+	}
+	lia := run("lia")
+	olia := run("olia")
+	// C1/C2 = 2: multipath users should stay off AP2 entirely under an
+	// optimal algorithm. OLIA must leave single-path users substantially
+	// more than LIA (the paper reports up to 2x at larger N1/N2; at
+	// N1/N2 = 2 the analytic gap is ≈0.66 vs ≈0.8).
+	if olia <= lia*1.10 {
+		t.Errorf("single-path: OLIA %.3f Mb/s vs LIA %.3f Mb/s, want ≥10%% gain", olia, lia)
+	}
+}
+
+func TestScenarioBUpgradeHurtsWithLIA(t *testing.T) {
+	agg := func(red bool) float64 {
+		b := BuildScenarioB(ScenarioBConfig{
+			N: 15, CX: 27, CT: 36,
+			Ctrl: Controllers["lia"], RedMultipath: red, Seed: 3,
+		})
+		snap := func() []int64 {
+			var out []int64
+			for _, c := range b.Blue {
+				out = append(out, c.GoodputBytes())
+			}
+			for _, c := range b.RedMP {
+				out = append(out, c.GoodputBytes())
+			}
+			for _, u := range b.RedSP {
+				out = append(out, u.Goodput())
+			}
+			return out
+		}
+		before, after := measureWindow(b.S, snap)
+		var total float64
+		for i := range before {
+			total += stats.Mbps(after[i]-before[i], testMeasure.Sec())
+		}
+		return total
+	}
+	single := agg(false)
+	multi := agg(true)
+	// Cut-set bound: 63 Mb/s. Red-singlepath should be close to it.
+	if single > 63.5 {
+		t.Fatalf("aggregate %.1f exceeds the 63 Mb/s cut-set bound", single)
+	}
+	if single < 50 {
+		t.Fatalf("aggregate %.1f too far below the cut-set bound", single)
+	}
+	// The paper's Table I: upgrading Red users to LIA drops the aggregate
+	// by ≈13%. Require a visible drop.
+	if multi > single-2 {
+		t.Errorf("LIA upgrade: aggregate went %.1f -> %.1f, expected a clear drop", single, multi)
+	}
+}
+
+func TestScenarioBOLIAUpgradeNearlyHarmless(t *testing.T) {
+	agg := func(name string, red bool) float64 {
+		b := BuildScenarioB(ScenarioBConfig{
+			N: 15, CX: 27, CT: 36,
+			Ctrl: Controllers[name], RedMultipath: red, Seed: 3,
+		})
+		snap := func() []int64 {
+			var out []int64
+			for _, c := range b.Blue {
+				out = append(out, c.GoodputBytes())
+			}
+			for _, c := range b.RedMP {
+				out = append(out, c.GoodputBytes())
+			}
+			for _, u := range b.RedSP {
+				out = append(out, u.Goodput())
+			}
+			return out
+		}
+		before, after := measureWindow(b.S, snap)
+		var total float64
+		for i := range before {
+			total += stats.Mbps(after[i]-before[i], testMeasure.Sec())
+		}
+		return total
+	}
+	liaDrop := agg("lia", false) - agg("lia", true)
+	oliaDrop := agg("olia", false) - agg("olia", true)
+	if oliaDrop >= liaDrop {
+		t.Errorf("OLIA upgrade penalty (%.1f Mb/s) not below LIA's (%.1f Mb/s)", oliaDrop, liaDrop)
+	}
+}
+
+func TestTwoLinkSmoke(t *testing.T) {
+	tl := BuildTwoLink(TwoLinkConfig{C: 10, NTCP1: 5, NTCP2: 5, Ctrl: Controllers["olia"], Seed: 4})
+	tl.MP.Start(500 * sim.Millisecond)
+	tl.S.RunUntil(20 * sim.Second)
+	if tl.MP.GoodputBytes() == 0 {
+		t.Fatal("multipath user idle")
+	}
+	for _, u := range tl.TCP1 {
+		if u.Goodput() == 0 {
+			t.Fatal("tcp user idle")
+		}
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	cases := []func(){
+		func() { BuildScenarioA(ScenarioAConfig{N1: 0, N2: 1, C1: 1, C2: 1}) },
+		func() { BuildScenarioB(ScenarioBConfig{N: 0, CX: 1, CT: 1}) },
+		func() { BuildScenarioC(ScenarioCConfig{N1: 1, N2: 1, C1: 0, C2: 1}) },
+		func() { BuildTwoLink(TwoLinkConfig{C: -1}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScenarioASinglePathBaseline(t *testing.T) {
+	a := BuildScenarioA(ScenarioAConfig{
+		N1: 5, N2: 5, C1: 1.0, C2: 1.0,
+		SinglePath: true, Seed: 5,
+	})
+	if len(a.Type1) != 0 || len(a.Type1SP) != 5 {
+		t.Fatalf("single-path build wrong: %d mp, %d sp", len(a.Type1), len(a.Type1SP))
+	}
+	snap := func() []int64 {
+		var out []int64
+		for _, u := range a.Type1SP {
+			out = append(out, u.Goodput())
+		}
+		for _, u := range a.Type2 {
+			out = append(out, u.Goodput())
+		}
+		return out
+	}
+	before, after := measureWindow(a.S, snap)
+	secs := testMeasure.Sec()
+	// Without the MPTCP upgrade both classes get their full capacity:
+	// normalized throughput ≈ 1 for everyone.
+	for i := range before {
+		got := stats.Mbps(after[i]-before[i], secs)
+		if got < 0.75 {
+			t.Errorf("user %d only %.2f Mb/s in the unupgraded baseline", i, got)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package trace records time series from running simulations: the window
+// and α evolution plots of the paper's Figs. 7 and 8 are produced by
+// sampling probes at a fixed period.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"mptcpsim/internal/sim"
+)
+
+// Point is one sample of one probe.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Probe is a named float-valued observation function.
+type Probe struct {
+	Name string
+	Fn   func() float64
+}
+
+// Recorder samples a set of probes at a fixed period.
+type Recorder struct {
+	sim    *sim.Sim
+	period sim.Time
+	probes []Probe
+	data   [][]Point
+	stop   sim.Time
+}
+
+// NewRecorder builds a recorder sampling every period until stop.
+func NewRecorder(s *sim.Sim, period, stop sim.Time, probes ...Probe) *Recorder {
+	if period <= 0 {
+		panic("trace: nonpositive period")
+	}
+	r := &Recorder{sim: s, period: period, probes: probes, stop: stop}
+	r.data = make([][]Point, len(probes))
+	return r
+}
+
+// Start schedules sampling beginning at the given time.
+func (r *Recorder) Start(at sim.Time) {
+	var tick func()
+	tick = func() {
+		now := r.sim.Now()
+		for i, p := range r.probes {
+			r.data[i] = append(r.data[i], Point{now, p.Fn()})
+		}
+		if now+r.period <= r.stop {
+			r.sim.After(r.period, tick)
+		}
+	}
+	r.sim.At(at, tick)
+}
+
+// Series returns the samples of probe i.
+func (r *Recorder) Series(i int) []Point { return r.data[i] }
+
+// SeriesByName returns the samples of the named probe, or nil.
+func (r *Recorder) SeriesByName(name string) []Point {
+	for i, p := range r.probes {
+		if p.Name == name {
+			return r.data[i]
+		}
+	}
+	return nil
+}
+
+// Names lists the probe names in order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// WriteCSV emits "t,<name1>,<name2>,..." rows, seconds in the first column.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "t"); err != nil {
+		return err
+	}
+	for _, p := range r.probes {
+		if _, err := fmt.Fprintf(w, ",%s", p.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if len(r.data) == 0 || len(r.data[0]) == 0 {
+		return nil
+	}
+	for row := range r.data[0] {
+		if _, err := fmt.Fprintf(w, "%.3f", r.data[0][row].T.Sec()); err != nil {
+			return err
+		}
+		for col := range r.probes {
+			if _, err := fmt.Fprintf(w, ",%.4f", r.data[col][row].V); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanAfter averages the samples of probe i taken at or after t0 (warm-up
+// exclusion).
+func (r *Recorder) MeanAfter(i int, t0 sim.Time) float64 {
+	var sum float64
+	var n int
+	for _, p := range r.data[i] {
+		if p.T >= t0 {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

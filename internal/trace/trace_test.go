@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mptcpsim/internal/sim"
+)
+
+func TestRecorderSamplesAtPeriod(t *testing.T) {
+	s := sim.New(1)
+	v := 0.0
+	s.At(0, func() {}) // anchor event so the clock starts at 0
+	rec := NewRecorder(s, 100*sim.Millisecond, sim.Second,
+		Probe{Name: "v", Fn: func() float64 { v += 1; return v }})
+	rec.Start(0)
+	s.RunUntil(2 * sim.Second)
+	series := rec.Series(0)
+	if len(series) != 11 { // t = 0, 0.1, ..., 1.0
+		t.Fatalf("samples %d, want 11", len(series))
+	}
+	if series[0].T != 0 || series[10].T != sim.Second {
+		t.Fatalf("sample times wrong: first %v last %v", series[0].T, series[10].T)
+	}
+	if series[10].V != 11 {
+		t.Fatalf("probe called %v times", series[10].V)
+	}
+}
+
+func TestRecorderMultipleProbesAndNames(t *testing.T) {
+	s := sim.New(1)
+	rec := NewRecorder(s, 50*sim.Millisecond, 200*sim.Millisecond,
+		Probe{Name: "a", Fn: func() float64 { return 1 }},
+		Probe{Name: "b", Fn: func() float64 { return 2 }})
+	rec.Start(0)
+	s.RunUntil(sim.Second)
+	if got := rec.SeriesByName("b"); len(got) == 0 || got[0].V != 2 {
+		t.Fatalf("series b: %v", got)
+	}
+	if rec.SeriesByName("zzz") != nil {
+		t.Fatal("unknown name should be nil")
+	}
+	names := rec.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	s := sim.New(1)
+	rec := NewRecorder(s, 500*sim.Millisecond, sim.Second,
+		Probe{Name: "x", Fn: func() float64 { return 7 }})
+	rec.Start(0)
+	s.RunUntil(2 * sim.Second)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "t,x" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 4 { // header + 3 samples (0, 0.5, 1.0)
+		t.Fatalf("lines %d: %v", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[1], "0.000,7") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestRecorderCSVEmpty(t *testing.T) {
+	s := sim.New(1)
+	rec := NewRecorder(s, sim.Second, 2*sim.Second, Probe{Name: "x", Fn: func() float64 { return 0 }})
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "t,x" {
+		t.Fatalf("empty CSV %q", b.String())
+	}
+}
+
+func TestMeanAfterExcludesWarmup(t *testing.T) {
+	s := sim.New(1)
+	rec := NewRecorder(s, 100*sim.Millisecond, sim.Second,
+		Probe{Name: "v", Fn: func() float64 {
+			if s.Now() < 500*sim.Millisecond {
+				return 100
+			}
+			return 10
+		}})
+	rec.Start(0)
+	s.RunUntil(2 * sim.Second)
+	if got := rec.MeanAfter(0, 500*sim.Millisecond); got != 10 {
+		t.Fatalf("MeanAfter %v, want 10", got)
+	}
+	if got := rec.MeanAfter(0, 10*sim.Second); got != 0 {
+		t.Fatalf("MeanAfter beyond data %v, want 0", got)
+	}
+}
+
+func TestNonpositivePeriodPanics(t *testing.T) {
+	s := sim.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecorder(s, 0, sim.Second)
+}

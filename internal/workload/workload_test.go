@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+)
+
+func testPath(s *sim.Sim, rate int64) PathPair {
+	fwd := netem.NewLink(s, netem.LinkConfig{RateBps: rate, Delay: 5 * sim.Millisecond, Kind: netem.QueueDropTail, DropTailPkts: 1000}, "f")
+	rev := netem.NewLink(s, netem.LinkConfig{RateBps: rate, Delay: 5 * sim.Millisecond, Kind: netem.QueueDropTail, DropTailPkts: 1000}, "r")
+	return PathPair{Fwd: []netem.Node{fwd.Q, fwd.P}, Rev: []netem.Node{rev.Q, rev.P}}
+}
+
+func TestNewBulkTransfers(t *testing.T) {
+	s := sim.New(1)
+	path := testPath(s, 10_000_000)
+	src, sink := NewBulk(s, 1, "bulk", path, tcp.Config{})
+	src.Start(0)
+	s.RunUntil(10 * sim.Second)
+	if sink.GoodputBytes() < 8_000_000 {
+		t.Fatalf("bulk goodput %d", sink.GoodputBytes())
+	}
+}
+
+func TestPermutationIsDerangement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 64; n *= 2 {
+		p := Permutation(rng, n)
+		if len(p) != n {
+			t.Fatalf("len %d", len(p))
+		}
+		seen := make([]bool, n)
+		for i, v := range p {
+			if v == i {
+				t.Fatalf("fixed point at %d", i)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermutationPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Permutation(rand.New(rand.NewSource(1)), 1)
+}
+
+// Property: every permutation is a derangement for random seeds and sizes.
+func TestPropertyPermutation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		size := int(n%30) + 2
+		p := Permutation(rand.New(rand.NewSource(seed)), size)
+		seen := make([]bool, size)
+		for i, v := range p {
+			if v == i || v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortFlowsGenerateAndComplete(t *testing.T) {
+	s := sim.New(3)
+	path := testPath(s, 100_000_000)
+	g := NewShortFlows(s, 100, path, 70_000, 200*sim.Millisecond, 10*sim.Second, tcp.Config{})
+	g.Start(0)
+	s.RunUntil(12 * sim.Second)
+	// ~50 arrivals expected over 10 s at one per 200 ms.
+	if g.Started() < 25 || g.Started() > 100 {
+		t.Fatalf("started %d flows, expected ≈50", g.Started())
+	}
+	if len(g.Done) < g.Started()-2 {
+		t.Fatalf("completed %d of %d", len(g.Done), g.Started())
+	}
+	for _, ct := range g.Done {
+		if ct <= 0 || ct > 5 {
+			t.Fatalf("implausible completion time %v s", ct)
+		}
+	}
+}
+
+func TestShortFlowsMeanArrivalRate(t *testing.T) {
+	s := sim.New(4)
+	path := testPath(s, 1_000_000_000)
+	g := NewShortFlows(s, 0, path, 7_000, 100*sim.Millisecond, 60*sim.Second, tcp.Config{})
+	g.Start(0)
+	s.RunUntil(61 * sim.Second)
+	// 600 expected; Poisson stdev ~24.5, allow ±5σ.
+	if g.Started() < 480 || g.Started() > 720 {
+		t.Fatalf("started %d, want ≈600", g.Started())
+	}
+}
+
+func TestShortFlowsActiveAccounting(t *testing.T) {
+	s := sim.New(5)
+	path := testPath(s, 100_000_000)
+	g := NewShortFlows(s, 0, path, 15_000, 50*sim.Millisecond, 2*sim.Second, tcp.Config{})
+	g.Start(0)
+	s.RunUntil(10 * sim.Second)
+	if g.Active != 0 {
+		t.Fatalf("active %d after drain, want 0", g.Active)
+	}
+	if g.Started() != len(g.Done) {
+		t.Fatalf("started %d != done %d", g.Started(), len(g.Done))
+	}
+}
+
+func TestShortFlowsBadParamsPanic(t *testing.T) {
+	s := sim.New(1)
+	path := testPath(s, 1_000_000)
+	for _, fn := range []func(){
+		func() { NewShortFlows(s, 0, path, 0, sim.Second, sim.Second, tcp.Config{}) },
+		func() { NewShortFlows(s, 0, path, 100, 0, sim.Second, tcp.Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
