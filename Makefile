@@ -1,0 +1,32 @@
+# Developer entry points; CI runs `make check`.
+
+GO ?= go
+
+.PHONY: build vet fmt-check test race check bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet fmt-check race
+
+# Regenerate the paper's tables (quick scale) while timing each experiment.
+bench:
+	$(GO) test -bench=. -benchtime 1x . | tee bench_output.txt
+
+clean:
+	rm -f mptcpsim olia-trace bench_output.txt coverage.*

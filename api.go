@@ -48,13 +48,24 @@ func FullConfig() Config { return harness.FullConfig() }
 func Experiments() []*Experiment { return harness.Experiments() }
 
 // RunExperiment regenerates one table or figure by ID (e.g. "fig9",
-// "table3"), writing its rows to w.
+// "table3"), writing its rows to w. Independent simulation jobs inside the
+// experiment (sweep points × seeds) run concurrently on cfg.Workers
+// workers; the output is byte-identical for any worker count.
 func RunExperiment(id string, cfg Config, w io.Writer) error {
 	e := harness.Get(id)
 	if e == nil {
 		return fmt.Errorf("mptcpsim: unknown experiment %q (have %v)", id, harness.IDs())
 	}
 	return e.Run(cfg, w)
+}
+
+// RunAll regenerates the experiments with the given IDs — the full registry
+// in paper order when ids is empty — writing each experiment's banner and
+// table to w in listing order. All experiments share one pool of
+// cfg.Workers workers (0 selects GOMAXPROCS, 1 forces sequential
+// execution); output bytes are identical to running them one at a time.
+func RunAll(ids []string, cfg Config, w io.Writer) error {
+	return harness.RunAll(cfg, ids, w)
 }
 
 // Algorithms lists the available congestion-control algorithms: "olia"

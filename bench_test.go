@@ -1,5 +1,6 @@
 // Benchmarks: one per table and figure of the paper, plus the DESIGN.md
-// ablations. Each benchmark prints its experiment's rows once (so
+// ablations and the sequential-vs-parallel registry comparison. Each
+// per-experiment benchmark prints its experiment's rows once (so
 // `go test -bench=. | tee bench_output.txt` captures the reproduced tables)
 // and reports the wall time per regeneration.
 //
@@ -13,6 +14,8 @@ import (
 	"os"
 	"sync"
 	"testing"
+
+	"mptcpsim/internal/sim"
 )
 
 func benchConfig() Config {
@@ -90,6 +93,47 @@ func BenchmarkExtReceiveWindow(b *testing.B)    { benchExperiment(b, "ext-rwnd")
 func BenchmarkExtStreams(b *testing.B)          { benchExperiment(b, "ext-streams") }
 func BenchmarkExtRTTHeterogeneity(b *testing.B) { benchExperiment(b, "ext-rtt") }
 func BenchmarkAblationDelayedAck(b *testing.B)  { benchExperiment(b, "ablation-delack") }
+
+// --- Registry: sequential vs parallel (internal/runner) ---
+
+// registryBenchIDs is a simulation-heavy subset spanning every experiment
+// family, used to compare worker counts on the shared pool.
+var registryBenchIDs = []string{"fig1b", "table1", "fig7", "fig13a", "ablation-epsilon"}
+
+// registryBenchConfig shrinks runs so the registry subset completes in a
+// few seconds while still fanning out dozens of independent (experiment ×
+// point × seed) jobs — enough for the worker pool to matter.
+func registryBenchConfig(workers int) Config {
+	return Config{
+		Duration:   3 * sim.Second,
+		Warmup:     sim.Second,
+		DCDuration: 500 * sim.Millisecond,
+		DCWarmup:   125 * sim.Millisecond,
+		Seeds:      4,
+		BaseSeed:   42,
+		FatTreeK:   4,
+		Subflows:   []int{2},
+		Workers:    workers,
+	}
+}
+
+// benchRegistry measures one full RunAll over the subset. Output is
+// discarded; correctness (byte-identity across worker counts) is covered by
+// the harness determinism tests.
+func benchRegistry(b *testing.B, workers int) {
+	b.Helper()
+	cfg := registryBenchConfig(workers)
+	for i := 0; i < b.N; i++ {
+		if err := RunAll(registryBenchIDs, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistrySequential(b *testing.B)  { benchRegistry(b, 1) }
+func BenchmarkRegistryParallel2(b *testing.B)   { benchRegistry(b, 2) }
+func BenchmarkRegistryParallel4(b *testing.B)   { benchRegistry(b, 4) }
+func BenchmarkRegistryParallelMax(b *testing.B) { benchRegistry(b, 0) }
 
 // --- Library micro-benchmarks ---
 

@@ -6,7 +6,13 @@
 //	mptcpsim -run fig9,table1
 //	mptcpsim -all
 //	mptcpsim -all -full            # paper-scale (120s runs, 5 seeds, K=8)
+//	mptcpsim -all -j 8             # fan simulations out over 8 workers
 //	mptcpsim -run fig13a -seeds 3 -duration 90
+//
+// Independent simulations (experiments × sweep points × seeds) run
+// concurrently on -j workers (default: all CPUs); every RNG seed derives
+// from the base seed and the job's position in the sweep, so output is
+// byte-identical to a sequential (-j 1) run.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"mptcpsim"
+	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
 )
 
@@ -30,6 +37,7 @@ func main() {
 		duration = flag.Float64("duration", 0, "override testbed run seconds")
 		dcdur    = flag.Float64("dcduration", 0, "override data-center run seconds")
 		k        = flag.Int("k", 0, "override FatTree arity (even)")
+		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -49,6 +57,7 @@ func main() {
 	if *k > 0 {
 		cfg.FatTreeK = *k
 	}
+	cfg.Workers = *jobs
 
 	switch {
 	case *list:
@@ -57,25 +66,31 @@ func main() {
 			fmt.Printf("%-8s %-14s %s\n", e.ID, e.PaperRef, e.Title)
 		}
 	case *all:
-		for _, e := range mptcpsim.Experiments() {
-			runOne(e.ID, cfg)
-		}
+		runAll(nil, cfg)
 	case *run != "":
+		var ids []string
 		for _, id := range strings.Split(*run, ",") {
-			runOne(strings.TrimSpace(id), cfg)
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
 		}
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "mptcpsim: -run needs at least one experiment ID")
+			os.Exit(2)
+		}
+		runAll(ids, cfg)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(id string, cfg mptcpsim.Config) {
+func runAll(ids []string, cfg mptcpsim.Config) {
+	workers := runner.Workers(cfg.Workers)
 	t0 := time.Now()
-	fmt.Printf("\n===== %s =====\n", id)
-	if err := mptcpsim.RunExperiment(id, cfg, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "mptcpsim: %s: %v\n", id, err)
+	if err := mptcpsim.RunAll(ids, cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("(%s finished in %v)\n", id, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("\n(total %v on %d workers)\n", time.Since(t0).Round(time.Millisecond), workers)
 }

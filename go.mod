@@ -1,0 +1,3 @@
+module mptcpsim
+
+go 1.24

@@ -21,6 +21,8 @@ type twoLinkOutcome struct {
 	flipsCount int
 }
 
+// runTwoLink simulates one two-link rig configuration — the "one point →
+// typed result" unit every ablation fans out over.
 func runTwoLink(cfg Config, c topo.TwoLinkConfig) twoLinkOutcome {
 	tl := topo.BuildTwoLink(c)
 	stop := cfg.Warmup + cfg.Duration
@@ -68,14 +70,18 @@ func runTwoLink(cfg Config, c topo.TwoLinkConfig) twoLinkOutcome {
 // ε=0 (fully coupled, Pareto-optimal but flappy), ε=1 (LIA), OLIA, and ε=2
 // (uncoupled, grabs two fair shares).
 func ablationEpsilon(cfg Config, w io.Writer) error {
-	fmt.Fprintln(w, "Symmetric two-link rig (Fig. 6a): 10 Mb/s links, 5 TCP flows each; fair share 1.67 Mb/s")
-	fmt.Fprintf(w, "%-14s | %-9s %-9s %-9s | %-9s | %s\n",
-		"algorithm", "mp total", "mp link1", "mp link2", "TCP mean", "w1/w2 flips")
-	for _, algo := range []string{"fullycoupled", "lia", "olia", "uncoupled"} {
-		o := runTwoLink(cfg, topo.TwoLinkConfig{
+	algos := []string{"fullycoupled", "lia", "olia", "uncoupled"}
+	outs := perPoint(cfg, algos, func(algo string) twoLinkOutcome {
+		return runTwoLink(cfg, topo.TwoLinkConfig{
 			C: 10, NTCP1: 5, NTCP2: 5,
 			Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
 		})
+	})
+	fmt.Fprintln(w, "Symmetric two-link rig (Fig. 6a): 10 Mb/s links, 5 TCP flows each; fair share 1.67 Mb/s")
+	fmt.Fprintf(w, "%-14s | %-9s %-9s %-9s | %-9s | %s\n",
+		"algorithm", "mp total", "mp link1", "mp link2", "TCP mean", "w1/w2 flips")
+	for i, algo := range algos {
+		o := outs[i]
 		fmt.Fprintf(w, "%-14s | %-9.2f %-9.2f %-9.2f | %-9.2f | %d\n",
 			algo, o.mp1+o.mp2, o.mp1, o.mp2, (o.bg1+o.bg2)/2, o.flipsCount)
 	}
@@ -87,22 +93,33 @@ func ablationEpsilon(cfg Config, w io.Writer) error {
 // paper's conclusions do not depend on the queueing discipline (§VI-B
 // studies drop-tail in htsim).
 func ablationQueue(cfg Config, w io.Writer) error {
+	type point struct {
+		kind netem.QueueKind
+		algo string
+	}
+	var pts []point
+	for _, kind := range []netem.QueueKind{netem.QueueRED, netem.QueueDropTail} {
+		for _, algo := range []string{"lia", "olia"} {
+			pts = append(pts, point{kind, algo})
+		}
+	}
+	outs := perPoint(cfg, pts, func(p point) twoLinkOutcome {
+		return runTwoLink(cfg, topo.TwoLinkConfig{
+			C: 10, NTCP1: 5, NTCP2: 10, Kind: p.kind,
+			Ctrl: topo.Controllers[p.algo], Seed: cfg.BaseSeed,
+		})
+	})
 	fmt.Fprintln(w, "Asymmetric rig (Fig. 6b): link2 shared with 10 TCP flows; congested-path traffic by discipline")
 	fmt.Fprintf(w, "%-10s %-10s | %-10s %-10s | %s\n",
 		"queue", "algorithm", "mp link1", "mp link2", "TCP mean on link2")
-	for _, kind := range []netem.QueueKind{netem.QueueRED, netem.QueueDropTail} {
+	for i, p := range pts {
 		kindName := "RED"
-		if kind == netem.QueueDropTail {
+		if p.kind == netem.QueueDropTail {
 			kindName = "DropTail"
 		}
-		for _, algo := range []string{"lia", "olia"} {
-			o := runTwoLink(cfg, topo.TwoLinkConfig{
-				C: 10, NTCP1: 5, NTCP2: 10, Kind: kind,
-				Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
-			})
-			fmt.Fprintf(w, "%-10s %-10s | %-10.2f %-10.2f | %.2f\n",
-				kindName, algo, o.mp1, o.mp2, o.bg2)
-		}
+		o := outs[i]
+		fmt.Fprintf(w, "%-10s %-10s | %-10.2f %-10.2f | %.2f\n",
+			kindName, p.algo, o.mp1, o.mp2, o.bg2)
 	}
 	fmt.Fprintln(w, "(expected: OLIA's link2 traffic stays near the probing floor under both disciplines)")
 	return nil
@@ -112,19 +129,23 @@ func ablationQueue(cfg Config, w io.Writer) error {
 // §IV-B) with normal slow start on the asymmetric rig: slow-starting
 // subflows repeatedly blast the congested path.
 func ablationSsthresh(cfg Config, w io.Writer) error {
-	fmt.Fprintln(w, "Asymmetric rig: effect of the §IV-B subflow ssthresh=1 setting")
-	fmt.Fprintf(w, "%-22s | %-10s %-10s | %s\n",
-		"subflow start", "mp link1", "mp link2", "TCP mean on link2")
-	for _, keepSS := range []bool{false, true} {
-		name := "ssthresh=1 (paper)"
-		if keepSS {
-			name = "normal slow start"
-		}
-		o := runTwoLink(cfg, topo.TwoLinkConfig{
+	variants := []bool{false, true}
+	outs := perPoint(cfg, variants, func(keepSS bool) twoLinkOutcome {
+		return runTwoLink(cfg, topo.TwoLinkConfig{
 			C: 10, NTCP1: 5, NTCP2: 10,
 			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
 			KeepSlowStart: keepSS,
 		})
+	})
+	fmt.Fprintln(w, "Asymmetric rig: effect of the §IV-B subflow ssthresh=1 setting")
+	fmt.Fprintf(w, "%-22s | %-10s %-10s | %s\n",
+		"subflow start", "mp link1", "mp link2", "TCP mean on link2")
+	for i, keepSS := range variants {
+		name := "ssthresh=1 (paper)"
+		if keepSS {
+			name = "normal slow start"
+		}
+		o := outs[i]
 		fmt.Fprintf(w, "%-22s | %-10.2f %-10.2f | %.2f\n", name, o.mp1, o.mp2, o.bg2)
 	}
 	return nil
@@ -133,18 +154,22 @@ func ablationSsthresh(cfg Config, w io.Writer) error {
 // ablationCap compares OLIA with and without the per-ACK Reno cap (goal 2's
 // "never more aggressive than TCP on any path").
 func ablationCap(cfg Config, w io.Writer) error {
-	fmt.Fprintln(w, "Symmetric rig: effect of the per-ACK increase cap (RFC 6356 goal 2)")
-	fmt.Fprintf(w, "%-14s | %-10s | %s\n", "increase cap", "mp total", "TCP mean")
-	for _, noCap := range []bool{false, true} {
-		name := "capped (std)"
-		if noCap {
-			name = "uncapped"
-		}
-		o := runTwoLink(cfg, topo.TwoLinkConfig{
+	variants := []bool{false, true}
+	outs := perPoint(cfg, variants, func(noCap bool) twoLinkOutcome {
+		return runTwoLink(cfg, topo.TwoLinkConfig{
 			C: 10, NTCP1: 5, NTCP2: 5,
 			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
 			SubflowCfg: tcp.Config{NoIncreaseCap: noCap},
 		})
+	})
+	fmt.Fprintln(w, "Symmetric rig: effect of the per-ACK increase cap (RFC 6356 goal 2)")
+	fmt.Fprintf(w, "%-14s | %-10s | %s\n", "increase cap", "mp total", "TCP mean")
+	for i, noCap := range variants {
+		name := "capped (std)"
+		if noCap {
+			name = "uncapped"
+		}
+		o := outs[i]
 		fmt.Fprintf(w, "%-14s | %-10.2f | %.2f\n", name, o.mp1+o.mp2, (o.bg1+o.bg2)/2)
 	}
 	return nil

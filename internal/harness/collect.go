@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"mptcpsim/internal/runner"
+)
+
+// This file is the bridge between the experiment registry and the parallel
+// runner. Every experiment is structured as collect → render: collect fans
+// independent (sweep point × seed) simulation jobs out on the worker pool
+// and merges the typed per-job results in canonical (point, seed) order;
+// render then formats the table from the collected values alone. Because
+// job seeds derive from Config.BaseSeed and the job's sweep position, and
+// merging walks results in index order, the rendered bytes are identical
+// for any Config.Workers setting.
+
+// sweep runs fn for every (point, seed) pair on the worker pool and
+// returns, for each point, the per-seed results in seed order. The seed
+// passed to fn is cfg.BaseSeed + s for repetition s, exactly the chain the
+// sequential harness used.
+func sweep[P, T any](cfg Config, points []P, fn func(p P, seed int64) T) [][]T {
+	seeds := cfg.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	flat := runner.Map(cfg.workerPool(), len(points)*seeds, func(i int) T {
+		return fn(points[i/seeds], cfg.BaseSeed+int64(i%seeds))
+	})
+	out := make([][]T, len(points))
+	for i := range points {
+		out[i] = flat[i*seeds : (i+1)*seeds]
+	}
+	return out
+}
+
+// perPoint runs fn once per point on the worker pool (for studies that use
+// a single repetition at cfg.BaseSeed, such as the ablations) and returns
+// the results in point order.
+func perPoint[P, T any](cfg Config, points []P, fn func(p P) T) []T {
+	return runner.Map(cfg.workerPool(), len(points), func(i int) T {
+		return fn(points[i])
+	})
+}

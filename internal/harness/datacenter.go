@@ -79,35 +79,55 @@ func dcThroughput(cfg Config, algo string, nsub int, seed int64) []float64 {
 	return out
 }
 
+// dcPoint identifies one FatTree long-flow configuration.
+type dcPoint struct {
+	algo string
+	nsub int
+}
+
+// dcAggregate is the seed-averaged aggregate throughput at one point.
+type dcAggregate struct {
+	point dcPoint
+	agg   stats.Summary // per-seed mean of per-flow %-of-optimal
+}
+
+// collectDCThroughput fans the §VI-B1 grid out on the worker pool: one job
+// per (point × seed), each reduced to its per-flow mean; per-seed means
+// merge in seed order.
+func collectDCThroughput(cfg Config, pts []dcPoint) []dcAggregate {
+	per := sweep(cfg, pts, func(p dcPoint, seed int64) float64 {
+		var sum stats.Summary
+		for _, v := range dcThroughput(cfg, p.algo, p.nsub, seed) {
+			sum.Add(v)
+		}
+		return sum.Mean()
+	})
+	out := make([]dcAggregate, len(pts))
+	for i, p := range pts {
+		out[i].point = p
+		for _, mean := range per[i] {
+			out[i].agg.Add(mean)
+		}
+	}
+	return out
+}
+
 // fig13a prints aggregate throughput (% of optimal) vs number of subflows
 // for LIA, OLIA and single-path TCP.
 func fig13a(cfg Config, w io.Writer) error {
+	pts := []dcPoint{{"tcp", 1}}
+	for _, nsub := range cfg.Subflows {
+		pts = append(pts, dcPoint{"lia", nsub}, dcPoint{"olia", nsub})
+	}
+	res := collectDCThroughput(cfg, pts)
+
 	fmt.Fprintf(w, "FatTree K=%d (%d hosts), random permutation, long-lived flows\n",
 		cfg.FatTreeK, cfg.FatTreeK*cfg.FatTreeK*cfg.FatTreeK/4)
-	fmt.Fprintf(w, "%-9s | %s\n", "subflows", "aggregate throughput (%% of optimal)")
+	fmt.Fprintf(w, "%-9s | %s\n", "subflows", "aggregate throughput (% of optimal)")
 	fmt.Fprintf(w, "%-9s | %-12s %-12s %-12s\n", "", "MPTCP-LIA", "MPTCP-OLIA", "TCP")
-
-	var tcpAgg stats.Summary
-	for s := 0; s < cfg.Seeds; s++ {
-		var sum stats.Summary
-		for _, v := range dcThroughput(cfg, "tcp", 1, cfg.BaseSeed+int64(s)) {
-			sum.Add(v)
-		}
-		tcpAgg.Add(sum.Mean())
-	}
-	for _, nsub := range cfg.Subflows {
-		var lia, olia stats.Summary
-		for s := 0; s < cfg.Seeds; s++ {
-			var l, o stats.Summary
-			for _, v := range dcThroughput(cfg, "lia", nsub, cfg.BaseSeed+int64(s)) {
-				l.Add(v)
-			}
-			for _, v := range dcThroughput(cfg, "olia", nsub, cfg.BaseSeed+int64(s)) {
-				o.Add(v)
-			}
-			lia.Add(l.Mean())
-			olia.Add(o.Mean())
-		}
+	tcpAgg := res[0].agg
+	for i, nsub := range cfg.Subflows {
+		lia, olia := res[1+2*i].agg, res[2+2*i].agg
 		fmt.Fprintf(w, "%-9d | %5.1f±%-5.1f %5.1f±%-5.1f %5.1f±%-5.1f\n",
 			nsub, lia.Mean(), lia.CI95(), olia.Mean(), olia.CI95(), tcpAgg.Mean(), tcpAgg.CI95())
 	}
@@ -118,6 +138,12 @@ func fig13a(cfg Config, w io.Writer) error {
 // subflow count (the paper uses 8).
 func fig13b(cfg Config, w io.Writer) error {
 	nsub := cfg.Subflows[len(cfg.Subflows)-1]
+	pts := []dcPoint{{"lia", nsub}, {"olia", nsub}, {"tcp", 1}}
+	// One repetition at the base seed, as in the paper's ranked plot.
+	perFlow := perPoint(cfg, pts, func(p dcPoint) []float64 {
+		return dcThroughput(cfg, p.algo, p.nsub, cfg.BaseSeed)
+	})
+
 	fmt.Fprintf(w, "FatTree K=%d, per-flow throughput percentiles (%% of optimal), %d subflows\n",
 		cfg.FatTreeK, nsub)
 	fmt.Fprintf(w, "%-10s |", "algo")
@@ -126,15 +152,10 @@ func fig13b(cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, " p%-5.0f", q)
 	}
 	fmt.Fprintln(w)
-	for _, algo := range []string{"lia", "olia", "tcp"} {
-		n := nsub
-		if algo == "tcp" {
-			n = 1
-		}
-		vals := dcThroughput(cfg, algo, n, cfg.BaseSeed)
-		fmt.Fprintf(w, "%-10s |", algo)
+	for i, p := range pts {
+		fmt.Fprintf(w, "%-10s |", p.algo)
 		for _, q := range qs {
-			fmt.Fprintf(w, " %-6.1f", stats.Percentile(vals, q))
+			fmt.Fprintf(w, " %-6.1f", stats.Percentile(perFlow[i], q))
 		}
 		fmt.Fprintln(w)
 	}
@@ -191,21 +212,33 @@ func dcShortFlows(cfg Config, algo string, seed int64) shortFlowResult {
 	return res
 }
 
+// dcShortAlgos is the §VI-B2 comparison set, in table order.
+var dcShortAlgos = []string{"lia", "olia", "tcp"}
+
+// collectDCShortFlows runs the short-flow experiment for every algorithm,
+// one pool job per (algorithm × seed), returning per-seed results in seed
+// order per algorithm.
+func collectDCShortFlows(cfg Config) [][]shortFlowResult {
+	return sweep(cfg, dcShortAlgos, func(algo string, seed int64) shortFlowResult {
+		return dcShortFlows(cfg, algo, seed)
+	})
+}
+
 // table3 prints short-flow completion statistics and core utilization.
 func table3(cfg Config, w io.Writer) error {
+	res := collectDCShortFlows(cfg)
 	fmt.Fprintf(w, "4:1 oversubscribed FatTree K=%d; 1/3 hosts long flows, rest 70KB shorts every 200ms\n", cfg.FatTreeK)
 	fmt.Fprintf(w, "%-12s | %-22s | %-10s | %s\n", "algorithm", "short-flow finish (ms)", "core util", "flows")
-	for _, algo := range []string{"lia", "olia", "tcp"} {
+	for i, algo := range dcShortAlgos {
 		var sum stats.Summary
 		var util stats.Summary
 		var count int
-		for s := 0; s < cfg.Seeds; s++ {
-			res := dcShortFlows(cfg, algo, cfg.BaseSeed+int64(s))
-			for _, c := range res.completions {
+		for _, r := range res[i] {
+			for _, c := range r.completions {
 				sum.Add(c * 1000)
 			}
-			util.Add(res.coreUtilPct)
-			count += len(res.completions)
+			util.Add(r.coreUtilPct)
+			count += len(r.completions)
 		}
 		name := "MPTCP-" + algo
 		if algo == "tcp" {
@@ -220,17 +253,17 @@ func table3(cfg Config, w io.Writer) error {
 
 // fig14 prints the completion-time PDFs.
 func fig14(cfg Config, w io.Writer) error {
+	res := collectDCShortFlows(cfg)
 	fmt.Fprintf(w, "Short-flow completion-time PDF (1/s), buckets of 20 ms over 0-300 ms\n")
 	fmt.Fprintf(w, "%-10s |", "ms")
 	for b := 0; b < 15; b++ {
 		fmt.Fprintf(w, " %5d", b*20+10)
 	}
 	fmt.Fprintln(w)
-	for _, algo := range []string{"lia", "olia", "tcp"} {
+	for i, algo := range dcShortAlgos {
 		h := stats.NewHistogram(0, 0.3, 15)
-		for s := 0; s < cfg.Seeds; s++ {
-			res := dcShortFlows(cfg, algo, cfg.BaseSeed+int64(s))
-			for _, c := range res.completions {
+		for _, r := range res[i] {
+			for _, c := range r.completions {
 				h.Add(c)
 			}
 		}

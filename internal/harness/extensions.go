@@ -12,47 +12,65 @@ import (
 	"mptcpsim/internal/topo"
 )
 
+// probeMetrics is one §VII bad-path-suspension run: normalized rates plus
+// the number of suspension episodes.
+type probeMetrics struct {
+	single, multi float64
+	suspends      int
+}
+
+// runProbeSuspension executes one Scenario-C-like run with or without
+// bad-path suspension enabled on the multipath users.
+func runProbeSuspension(cfg Config, enable bool, seed int64) probeMetrics {
+	c := topo.BuildScenarioC(topo.ScenarioCConfig{
+		N1: 20, N2: 10, C1: 2.0, C2: 1.0,
+		Ctrl: topo.Controllers["olia"], Seed: seed,
+	})
+	if enable {
+		for _, conn := range c.Multi {
+			conn.EnableProbeControl(mptcp.ProbeControl{})
+		}
+	}
+	c.S.RunUntil(cfg.Warmup)
+	var mBase, sBase []int64
+	for _, u := range c.Multi {
+		mBase = append(mBase, u.GoodputBytes())
+	}
+	for _, u := range c.Single {
+		sBase = append(sBase, u.Goodput())
+	}
+	c.S.RunUntil(cfg.Warmup + cfg.Duration)
+	secs := cfg.Duration.Sec()
+	var m probeMetrics
+	for i, u := range c.Multi {
+		m.multi += stats.Mbps(u.GoodputBytes()-mBase[i], secs) / 2.0 / 20
+		m.suspends += u.SuspendCount(0) + u.SuspendCount(1)
+	}
+	for i, u := range c.Single {
+		m.single += stats.Mbps(u.Goodput()-sBase[i], secs) / 1.0 / 10
+	}
+	return m
+}
+
 // extProbe evaluates the §VII future-work extension: suspending
 // persistently-bad paths drops the probing traffic below 1 MSS per RTT,
 // pushing the single-path users of a Scenario-C-like network past the
 // "optimum with probing cost" line.
 func extProbe(cfg Config, w io.Writer) error {
+	variants := []bool{false, true}
+	per := sweep(cfg, variants, func(enable bool, seed int64) probeMetrics {
+		return runProbeSuspension(cfg, enable, seed)
+	})
 	fmt.Fprintln(w, "Scenario C (N1=20, N2=10, C1/C2=2) with OLIA: bad-path suspension (§VII)")
 	fmt.Fprintf(w, "%-24s | %-18s | %-18s | %s\n",
 		"variant", "single-path (norm)", "multipath (norm)", "suspensions")
-	for _, enable := range []bool{false, true} {
+	for i, enable := range variants {
 		var single, multi stats.Summary
 		suspends := 0
-		for s := 0; s < cfg.Seeds; s++ {
-			c := topo.BuildScenarioC(topo.ScenarioCConfig{
-				N1: 20, N2: 10, C1: 2.0, C2: 1.0,
-				Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed + int64(s),
-			})
-			if enable {
-				for _, conn := range c.Multi {
-					conn.EnableProbeControl(mptcp.ProbeControl{})
-				}
-			}
-			c.S.RunUntil(cfg.Warmup)
-			var mBase, sBase []int64
-			for _, u := range c.Multi {
-				mBase = append(mBase, u.GoodputBytes())
-			}
-			for _, u := range c.Single {
-				sBase = append(sBase, u.Goodput())
-			}
-			c.S.RunUntil(cfg.Warmup + cfg.Duration)
-			secs := cfg.Duration.Sec()
-			var mSum, sSum float64
-			for i, u := range c.Multi {
-				mSum += stats.Mbps(u.GoodputBytes()-mBase[i], secs) / 2.0 / 20
-				suspends += u.SuspendCount(0) + u.SuspendCount(1)
-			}
-			for i, u := range c.Single {
-				sSum += stats.Mbps(u.Goodput()-sBase[i], secs) / 1.0 / 10
-			}
-			multi.Add(mSum)
-			single.Add(sSum)
+		for _, m := range per[i] {
+			single.Add(m.single)
+			multi.Add(m.multi)
+			suspends += m.suspends
 		}
 		name := "probing floor (std)"
 		if enable {
@@ -70,15 +88,19 @@ func extProbe(cfg Config, w io.Writer) error {
 // multipath user whose peer advertises a small window cannot even reach its
 // best-path TCP rate, regardless of coupling.
 func extRwnd(cfg Config, w io.Writer) error {
-	fmt.Fprintln(w, "Two-link rig, OLIA: effect of a receive-window cap on the aggregate")
-	fmt.Fprintf(w, "%-12s | %-10s | %s\n", "rwnd (pkts)", "mp total", "TCP mean")
-	for _, rwnd := range []float64{0, 16, 8, 4} {
+	rwnds := []float64{0, 16, 8, 4}
+	outs := perPoint(cfg, rwnds, func(rwnd float64) twoLinkOutcome {
 		c := topo.TwoLinkConfig{
 			C: 10, NTCP1: 5, NTCP2: 5,
 			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
 		}
 		c.SubflowCfg.MaxCwndPkts = rwnd
-		o := runTwoLink(cfg, c)
+		return runTwoLink(cfg, c)
+	})
+	fmt.Fprintln(w, "Two-link rig, OLIA: effect of a receive-window cap on the aggregate")
+	fmt.Fprintf(w, "%-12s | %-10s | %s\n", "rwnd (pkts)", "mp total", "TCP mean")
+	for i, rwnd := range rwnds {
+		o := outs[i]
 		label := "unlimited"
 		if rwnd > 0 {
 			label = fmt.Sprintf("%.0f", rwnd)
@@ -86,6 +108,28 @@ func extRwnd(cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, "%-12s | %-10.2f | %.2f\n", label, o.mp1+o.mp2, (o.bg1+o.bg2)/2)
 	}
 	return nil
+}
+
+// streamOutcome is one serial-transfer comparison run: completion-time
+// statistics for the requested number of transfers.
+type streamOutcome struct {
+	mode string
+	sum  stats.Summary
+}
+
+// runSerialTransfers measures `transfers` back-to-back finite transfers of
+// the given size over the two-link rig under one transport mode.
+func runSerialTransfers(cfg Config, mode string, size int64, transfers int) streamOutcome {
+	tl := topo.BuildTwoLink(topo.TwoLinkConfig{
+		C: 10, NTCP1: 2, NTCP2: 2,
+		Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
+	})
+	// The rig's own multipath user stays idle; transfers get their own
+	// endpoints over the same queues.
+	out := streamOutcome{mode: mode}
+	launchSerial(tl, mode, size, transfers, &out.sum)
+	tl.S.RunUntil(600 * sim.Second)
+	return out
 }
 
 // extStreams compares finite transfers done as single-path TCP against
@@ -96,21 +140,15 @@ func extRwnd(cfg Config, w io.Writer) error {
 func extStreams(cfg Config, w io.Writer) error {
 	const xferBytes = 512 * 1024
 	const transfers = 20
+	modes := []string{"tcp", "mptcp-olia stream"}
+	outs := perPoint(cfg, modes, func(mode string) streamOutcome {
+		return runSerialTransfers(cfg, mode, xferBytes, transfers)
+	})
 	fmt.Fprintf(w, "Serial %d KB transfers over the two-link rig (2 bg TCP flows per link)\n", xferBytes/1024)
 	fmt.Fprintf(w, "%-22s | %-16s | %s\n", "transport", "completion (s)", "completed")
-
-	for _, mode := range []string{"tcp", "mptcp-olia stream"} {
-		var sum stats.Summary
-		tl := topo.BuildTwoLink(topo.TwoLinkConfig{
-			C: 10, NTCP1: 2, NTCP2: 2,
-			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
-		})
-		// The rig's own multipath user stays idle; transfers get their own
-		// endpoints over the same queues.
-		launchSerial(tl, mode, xferBytes, transfers, &sum)
-		tl.S.RunUntil(600 * sim.Second)
+	for _, o := range outs {
 		fmt.Fprintf(w, "%-22s | %6.2f ± %-6.2f | %d/%d\n",
-			mode, sum.Mean(), sum.Stdev(), sum.N(), transfers)
+			o.mode, o.sum.Mean(), o.sum.Stdev(), o.sum.N(), transfers)
 	}
 	fmt.Fprintln(w, "(expected: streams finish faster by pulling both links' spare capacity)")
 	return nil
@@ -198,15 +236,19 @@ func init() {
 // 1/rtt at equal loss) sends more on the short-RTT path; OLIA's ℓ/rtt² best
 // metric makes the preference explicit.
 func extRTT(cfg Config, w io.Writer) error {
-	fmt.Fprintln(w, "Two links, equal capacity and background (5 TCP each); path 2 RTT 3x path 1")
-	fmt.Fprintf(w, "%-14s | %-12s %-12s | %s\n",
-		"algorithm", "mp short-rtt", "mp long-rtt", "ratio")
-	for _, algo := range []string{"olia", "lia", "uncoupled"} {
-		o := runTwoLink(cfg, topo.TwoLinkConfig{
+	algos := []string{"olia", "lia", "uncoupled"}
+	outs := perPoint(cfg, algos, func(algo string) twoLinkOutcome {
+		return runTwoLink(cfg, topo.TwoLinkConfig{
 			C: 10, NTCP1: 5, NTCP2: 5,
 			OWD2: 120 * sim.Millisecond, // RTT 240+q vs 80+q ms
 			Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
 		})
+	})
+	fmt.Fprintln(w, "Two links, equal capacity and background (5 TCP each); path 2 RTT 3x path 1")
+	fmt.Fprintf(w, "%-14s | %-12s %-12s | %s\n",
+		"algorithm", "mp short-rtt", "mp long-rtt", "ratio")
+	for i, algo := range algos {
+		o := outs[i]
 		ratio := 0.0
 		if o.mp2 > 0 {
 			ratio = o.mp1 / o.mp2
@@ -217,47 +259,62 @@ func extRTT(cfg Config, w io.Writer) error {
 	return nil
 }
 
+// delackOutcome is one acknowledgment-policy run on the symmetric rig.
+type delackOutcome struct {
+	mpMbps, bgMeanMbps float64
+}
+
+// runDelack measures the symmetric rig with per-segment or delayed ACKs.
+func runDelack(cfg Config, delayed bool) delackOutcome {
+	tl := topo.BuildTwoLink(topo.TwoLinkConfig{
+		C: 10, NTCP1: 5, NTCP2: 5,
+		Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
+	})
+	if delayed {
+		for _, sf := range tl.MP.Subflows() {
+			sf.Sink.SetDelayedAck(40 * sim.Millisecond)
+		}
+		for _, u := range tl.TCP1 {
+			u.Sink.SetDelayedAck(40 * sim.Millisecond)
+		}
+		for _, u := range tl.TCP2 {
+			u.Sink.SetDelayedAck(40 * sim.Millisecond)
+		}
+	}
+	tl.MP.Start(500 * sim.Millisecond)
+	tl.S.RunUntil(cfg.Warmup)
+	mpBase := tl.MP.GoodputBytes()
+	var bgBase int64
+	for _, u := range append(tl.TCP1, tl.TCP2...) {
+		bgBase += u.Goodput()
+	}
+	tl.S.RunUntil(cfg.Warmup + cfg.Duration)
+	secs := cfg.Duration.Sec()
+	var bg int64
+	for _, u := range append(tl.TCP1, tl.TCP2...) {
+		bg += u.Goodput()
+	}
+	return delackOutcome{
+		mpMbps:     stats.Mbps(tl.MP.GoodputBytes()-mpBase, secs),
+		bgMeanMbps: stats.Mbps(bg-bgBase, secs) / float64(len(tl.TCP1)+len(tl.TCP2)),
+	}
+}
+
 // ablationDelack compares per-segment acknowledgments (htsim behavior, the
 // default here) with RFC 1122 delayed ACKs on the symmetric rig.
 func ablationDelack(cfg Config, w io.Writer) error {
+	variants := []bool{false, true}
+	outs := perPoint(cfg, variants, func(delayed bool) delackOutcome {
+		return runDelack(cfg, delayed)
+	})
 	fmt.Fprintln(w, "Symmetric rig, OLIA: receiver acknowledgment policy")
 	fmt.Fprintf(w, "%-22s | %-10s | %s\n", "receiver", "mp total", "TCP mean")
-	for _, delayed := range []bool{false, true} {
-		tl := topo.BuildTwoLink(topo.TwoLinkConfig{
-			C: 10, NTCP1: 5, NTCP2: 5,
-			Ctrl: topo.Controllers["olia"], Seed: cfg.BaseSeed,
-		})
-		if delayed {
-			for _, sf := range tl.MP.Subflows() {
-				sf.Sink.SetDelayedAck(40 * sim.Millisecond)
-			}
-			for _, u := range tl.TCP1 {
-				u.Sink.SetDelayedAck(40 * sim.Millisecond)
-			}
-			for _, u := range tl.TCP2 {
-				u.Sink.SetDelayedAck(40 * sim.Millisecond)
-			}
-		}
-		tl.MP.Start(500 * sim.Millisecond)
-		tl.S.RunUntil(cfg.Warmup)
-		mpBase := tl.MP.GoodputBytes()
-		var bgBase int64
-		for _, u := range append(tl.TCP1, tl.TCP2...) {
-			bgBase += u.Goodput()
-		}
-		tl.S.RunUntil(cfg.Warmup + cfg.Duration)
-		secs := cfg.Duration.Sec()
-		var bg int64
-		for _, u := range append(tl.TCP1, tl.TCP2...) {
-			bg += u.Goodput()
-		}
+	for i, delayed := range variants {
 		name := "per-segment ACKs"
 		if delayed {
 			name = "delayed ACKs (40ms)"
 		}
-		fmt.Fprintf(w, "%-22s | %-10.2f | %.2f\n", name,
-			stats.Mbps(tl.MP.GoodputBytes()-mpBase, secs),
-			stats.Mbps(bg-bgBase, secs)/float64(len(tl.TCP1)+len(tl.TCP2)))
+		fmt.Fprintf(w, "%-22s | %-10.2f | %.2f\n", name, outs[i].mpMbps, outs[i].bgMeanMbps)
 	}
 	return nil
 }

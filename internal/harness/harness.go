@@ -10,10 +10,10 @@
 package harness
 
 import (
-	"fmt"
 	"io"
 	"sort"
 
+	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
 )
 
@@ -33,6 +33,25 @@ type Config struct {
 	FatTreeK int
 	// Subflows lists the subflow counts swept in Fig. 13(a).
 	Subflows []int
+	// Workers bounds how many simulation jobs run concurrently: 0 selects
+	// GOMAXPROCS, 1 forces sequential execution. Every job's RNG seed
+	// derives from BaseSeed and the job's position in the sweep — never
+	// from scheduling — so experiment output is byte-identical for any
+	// worker count.
+	Workers int
+
+	// pool is the shared job gate. RunAll installs one so concurrent
+	// experiments compete for a single worker budget; when nil (an
+	// experiment run directly), each sweep creates its own.
+	pool *runner.Pool
+}
+
+// workerPool returns the gate simulation jobs must pass through.
+func (cfg Config) workerPool() *runner.Pool {
+	if cfg.pool != nil {
+		return cfg.pool
+	}
+	return runner.New(cfg.Workers)
 }
 
 // DefaultConfig is the quick configuration used by `go test -bench`.
@@ -108,10 +127,4 @@ func IDs() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// header prints the experiment banner.
-func header(w io.Writer, e *Experiment, cfg Config) {
-	fmt.Fprintf(w, "== %s — %s ==\n%s\n", e.ID, e.PaperRef, e.Title)
-	fmt.Fprintf(w, "(duration %v, warmup %v, seeds %d)\n", cfg.Duration, cfg.Warmup, cfg.Seeds)
 }

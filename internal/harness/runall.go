@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"mptcpsim/internal/runner"
+)
+
+// RunAll regenerates the experiments with the given ids — the full registry
+// in paper order when ids is empty — writing each experiment's banner and
+// table to w in listing order.
+//
+// Experiments run concurrently (one orchestration goroutine each) and
+// their simulation jobs share one worker pool, so at most cfg.Workers
+// simulations execute at any moment no matter how the fan-out nests. Each
+// experiment writes into its own buffer, and buffers are flushed
+// progressively: experiment i's output appears as soon as experiments
+// 0..i have finished, so a long registry run streams tables as they
+// complete while the bytes remain identical to a sequential run.
+//
+// On failure every experiment still runs to completion, the output up to
+// and including the first failing experiment (in listing order) is
+// written, and that experiment's error is returned.
+func RunAll(cfg Config, ids []string, w io.Writer) error {
+	var exps []*Experiment
+	if len(ids) == 0 {
+		exps = Experiments()
+	} else {
+		for _, id := range ids {
+			e := Get(id)
+			if e == nil {
+				return fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
+			}
+			exps = append(exps, e)
+		}
+	}
+	cfg.pool = runner.New(cfg.Workers)
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	res := make([]outcome, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range exps {
+		done[i] = make(chan struct{})
+		go func(i int) {
+			defer close(done[i])
+			fmt.Fprintf(&res[i].buf, "\n===== %s =====\n", exps[i].ID)
+			res[i].err = exps[i].Run(cfg, &res[i].buf)
+		}(i)
+	}
+	var firstErr error
+	for i := range exps {
+		<-done[i]
+		if firstErr != nil {
+			continue // already failed: drain remaining experiments unwritten
+		}
+		if _, err := w.Write(res[i].buf.Bytes()); err != nil {
+			firstErr = err
+		} else if res[i].err != nil {
+			firstErr = fmt.Errorf("harness: %s: %w", exps[i].ID, res[i].err)
+		}
+	}
+	return firstErr
+}

@@ -20,7 +20,8 @@ func snapLoss(q netem.Queue) *lossWindow { return &lossWindow{q: q, base: q.Stat
 
 func (lw *lossWindow) prob() float64 { return lw.q.Stats().Sub(lw.base).LossProb() }
 
-// aMetrics are the Scenario A observables of Figs. 1, 9 and 10.
+// aMetrics are the Scenario A observables of Figs. 1, 9 and 10 from one
+// simulation run.
 type aMetrics struct {
 	t1Norm, t2Norm, p1, p2 float64
 }
@@ -57,19 +58,6 @@ func runScenarioA(c topo.ScenarioAConfig, cfg Config) aMetrics {
 	return m
 }
 
-// avgScenarioA repeats runScenarioA across seeds.
-func avgScenarioA(c topo.ScenarioAConfig, cfg Config) (t1, t2, p1, p2 stats.Summary) {
-	for s := 0; s < cfg.Seeds; s++ {
-		c.Seed = cfg.BaseSeed + int64(s)
-		m := runScenarioA(c, cfg)
-		t1.Add(m.t1Norm)
-		t2.Add(m.t2Norm)
-		p1.Add(m.p1)
-		p2.Add(m.p2)
-	}
-	return
-}
-
 // scenarioASweep is the grid of Figs. 1(b,c), 9 and 10: N2 = 10 users,
 // N1/N2 ∈ {1,2,3}, C2 = 1 Mb/s, C1/C2 ∈ {0.75, 1, 1.5}.
 var scenarioASweep = struct {
@@ -77,39 +65,85 @@ var scenarioASweep = struct {
 	c1s []float64
 }{[]int{10, 20, 30}, []float64{0.75, 1.0, 1.5}}
 
-func scenarioAExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
-	return func(cfg Config, w io.Writer) error {
-		fmt.Fprintf(w, "%-6s %-5s %-6s | %-28s | %-18s | %s\n",
-			"C1/C2", "N1/N2", "algo", "measured t1 / t2 (norm)", "analytic t1 / t2", "optimum t1 / t2")
-		for _, c1 := range scenarioASweep.c1s {
-			for _, n1 := range scenarioASweep.n1s {
-				ana, err := fixedpoint.ScenarioALIA(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
-				if err != nil {
-					return err
-				}
-				opt := fixedpoint.ScenarioAOptimum(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
-				for _, algo := range algos {
-					t1, t2, p1, p2 := avgScenarioA(topo.ScenarioAConfig{
-						N1: n1, N2: 10, C1: c1, C2: 1.0,
-						Ctrl: topo.Controllers[algo],
-					}, cfg)
-					fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %6.3f±%.3f / %6.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
-						c1, float64(n1)/10, algo,
-						t1.Mean(), t1.CI95(), t2.Mean(), t2.CI95(),
-						ana.Type1Norm, ana.Type2Norm, opt.Type1Norm, opt.Type2Norm)
-					if withLoss {
-						fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p1=%.4f p2=%.4f)",
-							p1.Mean(), p1.CI95(), p2.Mean(), p2.CI95(), ana.P1, ana.P2)
-					}
-					fmt.Fprintln(w)
-				}
+// aPoint identifies one Scenario A sweep cell: a capacity ratio, a user
+// count, and the algorithm under test.
+type aPoint struct {
+	c1   float64
+	n1   int
+	algo string
+}
+
+// aResult is the seed-averaged outcome at one sweep cell — the typed form
+// of one table row.
+type aResult struct {
+	point          aPoint
+	t1, t2, p1, p2 stats.Summary
+}
+
+// collectScenarioA simulates the Figs. 1/9/10 grid for the given
+// algorithms. Every (cell × seed) run is an independent job on the worker
+// pool; per-seed metrics merge in seed order, so the result is identical
+// for any worker count.
+func collectScenarioA(cfg Config, algos []string) []aResult {
+	var pts []aPoint
+	for _, c1 := range scenarioASweep.c1s {
+		for _, n1 := range scenarioASweep.n1s {
+			for _, algo := range algos {
+				pts = append(pts, aPoint{c1, n1, algo})
 			}
 		}
-		return nil
+	}
+	per := sweep(cfg, pts, func(p aPoint, seed int64) aMetrics {
+		return runScenarioA(topo.ScenarioAConfig{
+			N1: p.n1, N2: 10, C1: p.c1, C2: 1.0,
+			Ctrl: topo.Controllers[p.algo], Seed: seed,
+		}, cfg)
+	})
+	out := make([]aResult, len(pts))
+	for i, p := range pts {
+		out[i].point = p
+		for _, m := range per[i] {
+			out[i].t1.Add(m.t1Norm)
+			out[i].t2.Add(m.t2Norm)
+			out[i].p1.Add(m.p1)
+			out[i].p2.Add(m.p2)
+		}
+	}
+	return out
+}
+
+// renderScenarioA formats collected results, one row per sweep cell, with
+// the analytic fixed point and the optimum-with-probing alongside.
+func renderScenarioA(res []aResult, withLoss bool, w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-5s %-6s | %-28s | %-18s | %s\n",
+		"C1/C2", "N1/N2", "algo", "measured t1 / t2 (norm)", "analytic t1 / t2", "optimum t1 / t2")
+	for _, r := range res {
+		ana, err := fixedpoint.ScenarioALIA(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			return err
+		}
+		opt := fixedpoint.ScenarioAOptimum(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
+		fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %6.3f±%.3f / %6.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
+			r.point.c1, float64(r.point.n1)/10, r.point.algo,
+			r.t1.Mean(), r.t1.CI95(), r.t2.Mean(), r.t2.CI95(),
+			ana.Type1Norm, ana.Type2Norm, opt.Type1Norm, opt.Type2Norm)
+		if withLoss {
+			fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p1=%.4f p2=%.4f)",
+				r.p1.Mean(), r.p1.CI95(), r.p2.Mean(), r.p2.CI95(), ana.P1, ana.P2)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func scenarioAExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		return renderScenarioA(collectScenarioA(cfg, algos), withLoss, w)
 	}
 }
 
-// cMetrics are the Scenario C observables of Figs. 5, 11 and 12.
+// cMetrics are the Scenario C observables of Figs. 5, 11 and 12 from one
+// simulation run.
 type cMetrics struct {
 	multiNorm, singleNorm, p1, p2 float64
 }
@@ -138,18 +172,6 @@ func runScenarioC(c topo.ScenarioCConfig, cfg Config) cMetrics {
 	return m
 }
 
-func avgScenarioC(c topo.ScenarioCConfig, cfg Config) (multi, single, p1, p2 stats.Summary) {
-	for s := 0; s < cfg.Seeds; s++ {
-		c.Seed = cfg.BaseSeed + int64(s)
-		m := runScenarioC(c, cfg)
-		multi.Add(m.multiNorm)
-		single.Add(m.singleNorm)
-		p1.Add(m.p1)
-		p2.Add(m.p2)
-	}
-	return
-}
-
 // scenarioCSweep is the grid of Figs. 5(c,d), 11 and 12: N2 = 10,
 // N1 ∈ {5,10,20,30}, C2 = 1 Mb/s, C1/C2 ∈ {1, 2}.
 var scenarioCSweep = struct {
@@ -157,39 +179,80 @@ var scenarioCSweep = struct {
 	c1s []float64
 }{[]int{5, 10, 20, 30}, []float64{1.0, 2.0}}
 
-func scenarioCExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
-	return func(cfg Config, w io.Writer) error {
-		fmt.Fprintf(w, "%-6s %-5s %-6s | %-30s | %-18s | %s\n",
-			"C1/C2", "N1/N2", "algo", "measured multi / single (norm)", "analytic (LIA)", "optimum multi / single")
-		for _, c1 := range scenarioCSweep.c1s {
-			for _, n1 := range scenarioCSweep.n1s {
-				ana, err := fixedpoint.ScenarioCLIA(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
-				if err != nil {
-					return err
-				}
-				opt := fixedpoint.ScenarioCOptimum(float64(n1), 10, c1, 1.0, fixedpoint.DefaultParams)
-				for _, algo := range algos {
-					multi, single, p1, p2 := avgScenarioC(topo.ScenarioCConfig{
-						N1: n1, N2: 10, C1: c1, C2: 1.0,
-						Ctrl: topo.Controllers[algo],
-					}, cfg)
-					fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %7.3f±%.3f / %7.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
-						c1, float64(n1)/10, algo,
-						multi.Mean(), multi.CI95(), single.Mean(), single.CI95(),
-						ana.MultiNorm, ana.SingleNorm, opt.MultiNorm, opt.SingleNorm)
-					if withLoss {
-						fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p2=%.4f)",
-							p1.Mean(), p1.CI95(), p2.Mean(), p2.CI95(), ana.P2)
-					}
-					fmt.Fprintln(w)
-				}
+// cPoint identifies one Scenario C sweep cell.
+type cPoint struct {
+	c1   float64
+	n1   int
+	algo string
+}
+
+// cResult is the seed-averaged outcome at one Scenario C cell.
+type cResult struct {
+	point                 cPoint
+	multi, single, p1, p2 stats.Summary
+}
+
+// collectScenarioC simulates the Figs. 5/11/12 grid for the given
+// algorithms, one pool job per (cell × seed).
+func collectScenarioC(cfg Config, algos []string) []cResult {
+	var pts []cPoint
+	for _, c1 := range scenarioCSweep.c1s {
+		for _, n1 := range scenarioCSweep.n1s {
+			for _, algo := range algos {
+				pts = append(pts, cPoint{c1, n1, algo})
 			}
 		}
-		return nil
+	}
+	per := sweep(cfg, pts, func(p cPoint, seed int64) cMetrics {
+		return runScenarioC(topo.ScenarioCConfig{
+			N1: p.n1, N2: 10, C1: p.c1, C2: 1.0,
+			Ctrl: topo.Controllers[p.algo], Seed: seed,
+		}, cfg)
+	})
+	out := make([]cResult, len(pts))
+	for i, p := range pts {
+		out[i].point = p
+		for _, m := range per[i] {
+			out[i].multi.Add(m.multiNorm)
+			out[i].single.Add(m.singleNorm)
+			out[i].p1.Add(m.p1)
+			out[i].p2.Add(m.p2)
+		}
+	}
+	return out
+}
+
+// renderScenarioC formats collected Scenario C results.
+func renderScenarioC(res []cResult, withLoss bool, w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-5s %-6s | %-30s | %-18s | %s\n",
+		"C1/C2", "N1/N2", "algo", "measured multi / single (norm)", "analytic (LIA)", "optimum multi / single")
+	for _, r := range res {
+		ana, err := fixedpoint.ScenarioCLIA(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			return err
+		}
+		opt := fixedpoint.ScenarioCOptimum(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
+		fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %7.3f±%.3f / %7.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
+			r.point.c1, float64(r.point.n1)/10, r.point.algo,
+			r.multi.Mean(), r.multi.CI95(), r.single.Mean(), r.single.CI95(),
+			ana.MultiNorm, ana.SingleNorm, opt.MultiNorm, opt.SingleNorm)
+		if withLoss {
+			fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p2=%.4f)",
+				r.p1.Mean(), r.p1.CI95(), r.p2.Mean(), r.p2.CI95(), ana.P2)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func scenarioCExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		return renderScenarioC(collectScenarioC(cfg, algos), withLoss, w)
 	}
 }
 
-// bMetrics are the Scenario B observables of Tables I and II.
+// bMetrics are the Scenario B observables of Tables I and II from one
+// simulation run.
 type bMetrics struct {
 	bluePerUser, redPerUser, aggregate float64
 }
@@ -223,46 +286,65 @@ func runScenarioB(c topo.ScenarioBConfig, cfg Config) bMetrics {
 	return m
 }
 
-func avgScenarioB(c topo.ScenarioBConfig, cfg Config) (blue, red, agg stats.Summary) {
-	for s := 0; s < cfg.Seeds; s++ {
-		c.Seed = cfg.BaseSeed + int64(s)
-		m := runScenarioB(c, cfg)
-		blue.Add(m.bluePerUser)
-		red.Add(m.redPerUser)
-		agg.Add(m.aggregate)
-	}
-	return
+// bResult is the seed-averaged Scenario B outcome for one Red-user mode
+// (single-path or multipath).
+type bResult struct {
+	multipath      bool
+	blue, red, agg stats.Summary
 }
 
-// tableBExperiment prints a Table I / Table II style comparison for one
-// algorithm: Red single-path vs Red multipath.
+// collectScenarioB simulates both Red-user modes for one algorithm, one
+// pool job per (mode × seed).
+func collectScenarioB(cfg Config, algo string) []bResult {
+	modes := []bool{false, true}
+	per := sweep(cfg, modes, func(mp bool, seed int64) bMetrics {
+		return runScenarioB(topo.ScenarioBConfig{
+			N: 15, CX: 27, CT: 36,
+			Ctrl: topo.Controllers[algo], RedMultipath: mp, Seed: seed,
+		}, cfg)
+	})
+	out := make([]bResult, len(modes))
+	for i, mp := range modes {
+		out[i].multipath = mp
+		for _, m := range per[i] {
+			out[i].blue.Add(m.bluePerUser)
+			out[i].red.Add(m.redPerUser)
+			out[i].agg.Add(m.aggregate)
+		}
+	}
+	return out
+}
+
+// renderTableB prints a Table I / Table II style comparison from collected
+// results: Red single-path vs Red multipath, with the LIA fixed point.
+func renderTableB(algo string, res []bResult, w io.Writer) error {
+	fmt.Fprintf(w, "Scenario B, %s: CX=27, CT=36, 15+15 users (cut-set bound 63 Mb/s)\n", algo)
+	fmt.Fprintf(w, "%-12s | %-12s %-12s %-12s | %s\n",
+		"Red users", "Blue (Mb/s)", "Red (Mb/s)", "Agg (Mb/s)", "analytic agg (LIA fixed point)")
+	var aggVals [2]float64
+	for i, r := range res {
+		ana, err := fixedpoint.ScenarioBLIA(15, 27, 36, r.multipath, fixedpoint.DefaultParams)
+		if err != nil {
+			return err
+		}
+		mode := "Single-path"
+		if r.multipath {
+			mode = "Multipath"
+		}
+		fmt.Fprintf(w, "%-12s | %5.1f±%.1f    %5.1f±%.1f    %5.1f±%.1f   | %.1f\n",
+			mode, r.blue.Mean(), r.blue.CI95(), r.red.Mean(), r.red.CI95(),
+			r.agg.Mean(), r.agg.CI95(), ana.Aggregate)
+		aggVals[i] = r.agg.Mean()
+	}
+	drop := (aggVals[0] - aggVals[1]) / aggVals[0] * 100
+	fmt.Fprintf(w, "aggregate change on upgrade: %+.1f%% (paper: −13%% for LIA, −3.5%% for OLIA)\n", -drop)
+	return nil
+}
+
+// tableBExperiment reproduces Table I / Table II for one algorithm.
 func tableBExperiment(algo string) func(cfg Config, w io.Writer) error {
 	return func(cfg Config, w io.Writer) error {
-		fmt.Fprintf(w, "Scenario B, %s: CX=27, CT=36, 15+15 users (cut-set bound 63 Mb/s)\n", algo)
-		fmt.Fprintf(w, "%-12s | %-12s %-12s %-12s | %s\n",
-			"Red users", "Blue (Mb/s)", "Red (Mb/s)", "Agg (Mb/s)", "analytic agg (LIA fixed point)")
-		var aggVals [2]float64
-		for i, mp := range []bool{false, true} {
-			blue, red, agg := avgScenarioB(topo.ScenarioBConfig{
-				N: 15, CX: 27, CT: 36,
-				Ctrl: topo.Controllers[algo], RedMultipath: mp,
-			}, cfg)
-			ana, err := fixedpoint.ScenarioBLIA(15, 27, 36, mp, fixedpoint.DefaultParams)
-			if err != nil {
-				return err
-			}
-			mode := "Single-path"
-			if mp {
-				mode = "Multipath"
-			}
-			fmt.Fprintf(w, "%-12s | %5.1f±%.1f    %5.1f±%.1f    %5.1f±%.1f   | %.1f\n",
-				mode, blue.Mean(), blue.CI95(), red.Mean(), red.CI95(),
-				agg.Mean(), agg.CI95(), ana.Aggregate)
-			aggVals[i] = agg.Mean()
-		}
-		drop := (aggVals[0] - aggVals[1]) / aggVals[0] * 100
-		fmt.Fprintf(w, "aggregate change on upgrade: %+.1f%% (paper: −13%% for LIA, −3.5%% for OLIA)\n", -drop)
-		return nil
+		return renderTableB(algo, collectScenarioB(cfg, algo), w)
 	}
 }
 

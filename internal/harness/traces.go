@@ -10,60 +10,94 @@ import (
 	"mptcpsim/internal/trace"
 )
 
+// traceResult is one recorded two-path run of Figs. 7/8: window (and OLIA
+// α) means plus the sampled window series for the figure shape.
+type traceResult struct {
+	algo       string
+	w1, w2     float64
+	a1, a2     float64
+	hasAlpha   bool
+	flipsCount int
+	s1, s2     []trace.Point
+}
+
+// runTrace records one algorithm's window evolution on the two-link rig.
+func runTrace(cfg Config, algo string, nTCP1, nTCP2 int) traceResult {
+	tl := topo.BuildTwoLink(topo.TwoLinkConfig{
+		C: 10, NTCP1: nTCP1, NTCP2: nTCP2,
+		Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
+	})
+	stop := cfg.Warmup + cfg.Duration
+	probes := []trace.Probe{
+		{Name: "w1", Fn: func() float64 { return tl.MP.CwndPkts(0) }},
+		{Name: "w2", Fn: func() float64 { return tl.MP.CwndPkts(1) }},
+	}
+	if o, ok := tl.MP.Controller().(*core.OLIA); ok {
+		probes = append(probes,
+			trace.Probe{Name: "a1", Fn: func() float64 { return o.Alpha(0) }},
+			trace.Probe{Name: "a2", Fn: func() float64 { return o.Alpha(1) }},
+		)
+	}
+	rec := trace.NewRecorder(tl.S, 250*sim.Millisecond, stop, probes...)
+	rec.Start(0)
+	tl.MP.Start(500 * sim.Millisecond)
+	tl.S.RunUntil(stop)
+
+	res := traceResult{
+		algo:       algo,
+		w1:         rec.MeanAfter(0, cfg.Warmup),
+		w2:         rec.MeanAfter(1, cfg.Warmup),
+		flipsCount: flips(rec.Series(0), rec.Series(1)),
+		s1:         rec.Series(0),
+		s2:         rec.Series(1),
+	}
+	if len(probes) > 2 {
+		res.hasAlpha = true
+		res.a1 = rec.MeanAfter(2, cfg.Warmup)
+		res.a2 = rec.MeanAfter(3, cfg.Warmup)
+	}
+	return res
+}
+
+// renderTrace prints one recorded run: means, flappiness, and a decimated
+// time series (about 12 rows) for the figure shape.
+func renderTrace(r traceResult, w io.Writer) {
+	fmt.Fprintf(w, "%s: mean w1 = %.1f pkts, mean w2 = %.1f pkts", r.algo, r.w1, r.w2)
+	if r.hasAlpha {
+		fmt.Fprintf(w, ", mean α1 = %+.3f, mean α2 = %+.3f", r.a1, r.a2)
+	}
+	fmt.Fprintf(w, ", flips(w1≶w2) = %d\n", r.flipsCount)
+
+	step := len(r.s1) / 12
+	if step == 0 {
+		step = 1
+	}
+	fmt.Fprintf(w, "  t(s):")
+	for i := 0; i < len(r.s1); i += step {
+		fmt.Fprintf(w, "%7.0f", r.s1[i].T.Sec())
+	}
+	fmt.Fprintf(w, "\n  w1:  ")
+	for i := 0; i < len(r.s1); i += step {
+		fmt.Fprintf(w, "%7.1f", r.s1[i].V)
+	}
+	fmt.Fprintf(w, "\n  w2:  ")
+	for i := 0; i < len(r.s2); i += step {
+		fmt.Fprintf(w, "%7.1f", r.s2[i].V)
+	}
+	fmt.Fprintln(w)
+}
+
 // traceExperiment reproduces Figs. 7 and 8: the evolution of the two
 // subflow windows (and OLIA's α) for a two-path user whose links are shared
 // with nTCP1 and nTCP2 regular TCP flows.
 func traceExperiment(nTCP1, nTCP2 int) func(cfg Config, w io.Writer) error {
 	return func(cfg Config, w io.Writer) error {
-		for _, algo := range []string{"olia", "lia"} {
-			tl := topo.BuildTwoLink(topo.TwoLinkConfig{
-				C: 10, NTCP1: nTCP1, NTCP2: nTCP2,
-				Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
-			})
-			stop := cfg.Warmup + cfg.Duration
-			probes := []trace.Probe{
-				{Name: "w1", Fn: func() float64 { return tl.MP.CwndPkts(0) }},
-				{Name: "w2", Fn: func() float64 { return tl.MP.CwndPkts(1) }},
-			}
-			if o, ok := tl.MP.Controller().(*core.OLIA); ok {
-				probes = append(probes,
-					trace.Probe{Name: "a1", Fn: func() float64 { return o.Alpha(0) }},
-					trace.Probe{Name: "a2", Fn: func() float64 { return o.Alpha(1) }},
-				)
-			}
-			rec := trace.NewRecorder(tl.S, 250*sim.Millisecond, stop, probes...)
-			rec.Start(0)
-			tl.MP.Start(500 * sim.Millisecond)
-			tl.S.RunUntil(stop)
-
-			w1 := rec.MeanAfter(0, cfg.Warmup)
-			w2 := rec.MeanAfter(1, cfg.Warmup)
-			fmt.Fprintf(w, "%s: mean w1 = %.1f pkts, mean w2 = %.1f pkts", algo, w1, w2)
-			if len(probes) > 2 {
-				fmt.Fprintf(w, ", mean α1 = %+.3f, mean α2 = %+.3f",
-					rec.MeanAfter(2, cfg.Warmup), rec.MeanAfter(3, cfg.Warmup))
-			}
-			fmt.Fprintf(w, ", flips(w1≶w2) = %d\n", flips(rec.Series(0), rec.Series(1)))
-
-			// Decimated time series (about 12 rows) for the figure shape.
-			s1, s2 := rec.Series(0), rec.Series(1)
-			step := len(s1) / 12
-			if step == 0 {
-				step = 1
-			}
-			fmt.Fprintf(w, "  t(s):")
-			for i := 0; i < len(s1); i += step {
-				fmt.Fprintf(w, "%7.0f", s1[i].T.Sec())
-			}
-			fmt.Fprintf(w, "\n  w1:  ")
-			for i := 0; i < len(s1); i += step {
-				fmt.Fprintf(w, "%7.1f", s1[i].V)
-			}
-			fmt.Fprintf(w, "\n  w2:  ")
-			for i := 0; i < len(s2); i += step {
-				fmt.Fprintf(w, "%7.1f", s2[i].V)
-			}
-			fmt.Fprintln(w)
+		algos := []string{"olia", "lia"}
+		results := perPoint(cfg, algos, func(algo string) traceResult {
+			return runTrace(cfg, algo, nTCP1, nTCP2)
+		})
+		for _, r := range results {
+			renderTrace(r, w)
 		}
 		return nil
 	}

@@ -1,0 +1,89 @@
+// Package runner is the parallel experiment engine: a bounded worker pool
+// that fans independent simulation jobs out across CPUs and hands their
+// results back in submission order, so callers can merge them exactly as a
+// sequential loop would have.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. A job's inputs (notably its RNG seed) must never depend
+//     on scheduling: callers derive every job from its index, and Map
+//     returns results slotted by index. Byte-identical output for any
+//     worker count falls out of merging in index order.
+//  2. An exact, shareable bound. Every job blocks for a pool slot and holds
+//     it only while running, so across all concurrent Map calls on one
+//     Pool at most Size jobs execute simultaneously — the bound a user
+//     sets with -j is a guarantee, not a hint. The flip side: a job must
+//     not call Map on the pool it runs on (it would hold its slot while
+//     waiting for more slots — deadlock). Orchestration layers that fan
+//     out above Map (e.g. harness.RunAll running experiments that each
+//     sweep jobs) use plain goroutines and let only leaf work enter the
+//     pool.
+//  3. Cheap when sequential. A one-slot pool runs the whole Map inline on
+//     the calling goroutine under a single acquire — no goroutines, and
+//     jobs execute in index order: Workers=1 is the reference sequential
+//     execution the parallel path is tested against.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count setting: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool bounds how many jobs execute simultaneously, across every
+// concurrent Map call sharing it. The zero value is not usable; construct
+// with New.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New returns a pool of size Workers(workers).
+func New(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Size reports the pool's bound on concurrently executing jobs.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Sequential reports whether the pool runs jobs one at a time.
+func (p *Pool) Sequential() bool { return cap(p.sem) == 1 }
+
+// Map runs fn(0), fn(1), …, fn(n-1) on the pool and returns their results
+// in index order regardless of completion order. fn must derive everything
+// it needs (seeds included) from its index argument, must not communicate
+// with other jobs, and must not call Map on the same pool (see the package
+// comment; nest with plain goroutines above Map instead).
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if p.Sequential() || n == 1 {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p.sem <- struct{}{}
+			defer func() { <-p.sem }()
+			out[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

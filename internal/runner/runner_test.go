@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+	if got := New(5).Size(); got != 5 {
+		t.Fatalf("New(5).Size() = %d, want 5", got)
+	}
+	if !New(1).Sequential() || New(2).Sequential() {
+		t.Fatal("Sequential() wrong for sizes 1 and 2")
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers)
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	p := New(4)
+	if got := Map(p, 0, func(i int) int { t.Fatal("fn called for n=0"); return 0 }); len(got) != 0 {
+		t.Fatalf("n=0 returned %d results", len(got))
+	}
+	if got := Map(p, 1, func(i int) string { return "only" }); got[0] != "only" {
+		t.Fatalf("n=1 result %q", got[0])
+	}
+}
+
+// trackPeak records the high-water mark of concurrently running jobs.
+type trackPeak struct {
+	cur, peak atomic.Int64
+}
+
+func (tp *trackPeak) enter() {
+	n := tp.cur.Add(1)
+	for {
+		old := tp.peak.Load()
+		if n <= old || tp.peak.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+func (tp *trackPeak) exit() { tp.cur.Add(-1) }
+
+func spin() {
+	for j := 0; j < 1000; j++ {
+		runtime.Gosched()
+	}
+}
+
+// TestMapBoundsConcurrency checks the pool's guarantee: a single Map never
+// runs more than Size jobs at once.
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var tp trackPeak
+	Map(p, 50, func(i int) struct{} {
+		tp.enter()
+		spin() // busy the slot long enough for other goroutines to pile up
+		tp.exit()
+		return struct{}{}
+	})
+	if got := tp.peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", got, workers)
+	}
+}
+
+// TestConcurrentMapsShareBound checks the harness.RunAll shape: several
+// orchestration goroutines each Map over one shared pool, and the bound
+// holds across all of them combined.
+func TestConcurrentMapsShareBound(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		p := New(workers)
+		var tp trackPeak
+		var wg sync.WaitGroup
+		results := make([][]int, 6)
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				results[g] = Map(p, 8, func(i int) int {
+					tp.enter()
+					spin()
+					tp.exit()
+					return g*100 + i
+				})
+			}(g)
+		}
+		wg.Wait()
+		if got := tp.peak.Load(); got > int64(workers) {
+			t.Fatalf("workers=%d: observed %d concurrent jobs across sibling Maps", workers, got)
+		}
+		for g := range results {
+			for i, v := range results[g] {
+				if v != g*100+i {
+					t.Fatalf("workers=%d: goroutine %d result[%d] = %d", workers, g, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package-level determinism
+// property: seed-style derivation from the index gives identical results
+// for any pool size.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []string {
+		return Map(New(workers), 64, func(i int) string {
+			// Stand-in for "simulate with seed base+i".
+			h := uint64(i)*2654435761 + 12345
+			return fmt.Sprintf("job%d:%x", i, h)
+		})
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %q, want %q", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMapParallelWrites hammers the result slice from many goroutines so
+// `go test -race ./internal/runner` exercises the synchronization.
+func TestMapParallelWrites(t *testing.T) {
+	p := New(8)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	Map(p, 200, func(i int) struct{} {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return struct{}{}
+	})
+	if len(seen) != 200 {
+		t.Fatalf("ran %d distinct jobs, want 200", len(seen))
+	}
+}
