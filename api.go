@@ -8,7 +8,10 @@
 //
 // This top-level package is the public facade. Three entry points matter:
 //
-//   - Experiments / RunExperiment reproduce the paper's tables and figures.
+//   - Experiments / CollectExperiment / RunExperiment reproduce the paper's
+//     tables and figures — as structured Results (typed columns, rows of
+//     cells with units and 95% CIs) renderable as text, JSON or CSV, and
+//     comparable with Diff.
 //   - Simulate runs a custom multipath-vs-TCP microbenchmark over
 //     user-defined bottleneck paths.
 //   - AnalyzeTwoPath evaluates the paper's loss-throughput fixed points
@@ -36,6 +39,41 @@ type Experiment = harness.Experiment
 // Config scales experiment runs; see DefaultConfig and FullConfig.
 type Config = harness.Config
 
+// Result is the structured outcome of one experiment: metadata, typed
+// columns, rows of cells (with units, 95% CIs and sample counts preserved),
+// and time series for the trace experiments.
+type Result = harness.Result
+
+// Column, Cell and Series are the building blocks of a Result.
+type (
+	Column = harness.Column
+	Cell   = harness.Cell
+	Series = harness.Series
+)
+
+// Format selects how results are rendered: FormatText (the paper's aligned
+// tables), FormatJSON, or FormatCSV.
+type Format = harness.Format
+
+// Render formats for experiment output.
+const (
+	FormatText = harness.FormatText
+	FormatJSON = harness.FormatJSON
+	FormatCSV  = harness.FormatCSV
+)
+
+// ParseFormat validates a format name ("text", "json", "csv"; "" means
+// text).
+func ParseFormat(s string) (Format, error) { return harness.ParseFormat(s) }
+
+// DiffReport lists the per-cell deltas between two collected Results.
+type DiffReport = harness.DiffReport
+
+// Diff compares two collected Results cell by cell — the seed of regression
+// tooling: collect the same experiment at two commits (or two algorithms,
+// scales, worker counts) and gate on the numeric drift.
+func Diff(a, b *Result) *DiffReport { return harness.Diff(a, b) }
+
 // DefaultConfig returns the quick configuration (minutes for the whole
 // registry: shorter runs, K=4 fabric, one seed).
 func DefaultConfig() Config { return harness.DefaultConfig() }
@@ -47,16 +85,35 @@ func FullConfig() Config { return harness.FullConfig() }
 // Experiments lists every reproducible table/figure in paper order.
 func Experiments() []*Experiment { return harness.Experiments() }
 
-// RunExperiment regenerates one table or figure by ID (e.g. "fig9",
-// "table3"), writing its rows to w. Independent simulation jobs inside the
-// experiment (sweep points × seeds) run concurrently on cfg.Workers
-// workers; the output is byte-identical for any worker count.
-func RunExperiment(id string, cfg Config, w io.Writer) error {
+// CollectExperiment regenerates one table or figure by ID (e.g. "fig9",
+// "table3") and returns its structured Result. Independent simulation jobs
+// inside the experiment (sweep points × seeds) run concurrently on
+// cfg.Workers workers; the Result is identical for any worker count.
+func CollectExperiment(id string, cfg Config) (*Result, error) {
 	e := harness.Get(id)
 	if e == nil {
-		return fmt.Errorf("mptcpsim: unknown experiment %q (have %v)", id, harness.IDs())
+		return nil, fmt.Errorf("mptcpsim: unknown experiment %q (have %v)", id, harness.IDs())
 	}
-	return e.Run(cfg, w)
+	return e.CollectResult(cfg)
+}
+
+// RenderResult writes a collected Result to w in the given format. Text
+// output is byte-identical to the classic tables.
+func RenderResult(r *Result, format Format, w io.Writer) error {
+	return harness.Render(r, format, w)
+}
+
+// RunExperiment regenerates one table or figure by ID (e.g. "fig9",
+// "table3"), writing its rows to w — CollectExperiment followed by the
+// text renderer. Independent simulation jobs inside the experiment (sweep
+// points × seeds) run concurrently on cfg.Workers workers; the output is
+// byte-identical for any worker count.
+func RunExperiment(id string, cfg Config, w io.Writer) error {
+	r, err := CollectExperiment(id, cfg)
+	if err != nil {
+		return err
+	}
+	return harness.RenderText(r, w)
 }
 
 // RunAll regenerates the experiments with the given IDs — the full registry
@@ -65,18 +122,33 @@ func RunExperiment(id string, cfg Config, w io.Writer) error {
 // cfg.Workers workers (0 selects GOMAXPROCS, 1 forces sequential
 // execution); output bytes are identical to running them one at a time.
 func RunAll(ids []string, cfg Config, w io.Writer) error {
-	return harness.RunAll(cfg, ids, w)
+	return harness.RunAll(cfg, ids, harness.FormatText, w)
 }
 
-// Algorithms lists the available congestion-control algorithms: "olia"
-// (this paper's contribution), "lia" (RFC 6356), "uncoupled" (ε=2) and
-// "fullycoupled" (ε=0).
-func Algorithms() []string {
+// RunAllFormat is RunAll with a Format option: text streams each
+// experiment's banner and table, json streams one array of Result objects,
+// csv streams one blank-line-separated block per experiment. Results render
+// in listing order as they complete, byte-identical at any worker count.
+func RunAllFormat(ids []string, cfg Config, format Format, w io.Writer) error {
+	return harness.RunAll(cfg, ids, format, w)
+}
+
+// algorithmNames is the sorted controller list, computed once at init.
+var algorithmNames = func() []string {
 	out := make([]string, 0, len(topo.Controllers))
 	for name := range topo.Controllers {
 		out = append(out, name)
 	}
 	sort.Strings(out)
+	return out
+}()
+
+// Algorithms lists the available congestion-control algorithms: "olia"
+// (this paper's contribution), "lia" (RFC 6356), "uncoupled" (ε=2) and
+// "fullycoupled" (ε=0).
+func Algorithms() []string {
+	out := make([]string, len(algorithmNames))
+	copy(out, algorithmNames)
 	return out
 }
 
@@ -110,21 +182,45 @@ type Scenario struct {
 // PathReport is the per-path outcome of a Simulate run.
 type PathReport struct {
 	// MultipathMbps is the multipath user's goodput share on this path.
-	MultipathMbps float64
+	MultipathMbps float64 `json:"multipath_mbps"`
 	// BackgroundMbps is the mean goodput of one background TCP flow.
-	BackgroundMbps float64
+	BackgroundMbps float64 `json:"background_mbps"`
 	// LossProb is the bottleneck's measured drop probability.
-	LossProb float64
+	LossProb float64 `json:"loss_prob"`
 	// CwndPkts is the subflow's final congestion window.
-	CwndPkts float64
+	CwndPkts float64 `json:"cwnd_pkts"`
 }
 
 // Report is the outcome of a Simulate run.
 type Report struct {
 	// TotalMbps is the multipath user's aggregate goodput.
-	TotalMbps float64
+	TotalMbps float64 `json:"total_mbps"`
 	// Paths holds per-path details, in Scenario order.
-	Paths []PathReport
+	Paths []PathReport `json:"paths"`
+}
+
+// Result converts the report into the structured result model, one row per
+// path, so Simulate output can flow through the same renderers and Diff as
+// the registry experiments.
+func (r Report) Result() *Result {
+	res := &Result{
+		ID:    "simulate",
+		Title: "Custom multipath-vs-TCP microbenchmark (mptcpsim.Simulate)",
+		Columns: []Column{
+			{Name: "path"},
+			{Name: "multipath", Unit: "Mb/s"}, {Name: "background", Unit: "Mb/s"},
+			{Name: "loss_prob"}, {Name: "cwnd", Unit: "pkts"},
+		},
+		Footer: []string{fmt.Sprintf("total %.2f Mb/s", r.TotalMbps)},
+	}
+	for i, p := range r.Paths {
+		res.Rows = append(res.Rows, []Cell{
+			harness.IntCell(i + 1),
+			harness.NumCell(p.MultipathMbps), harness.NumCell(p.BackgroundMbps),
+			harness.NumCell(p.LossProb), harness.NumCell(p.CwndPkts),
+		})
+	}
+	return res
 }
 
 // Simulate runs a multipath user against background TCP flows over custom
@@ -214,7 +310,6 @@ func AnalyzeTwoPath(loss, rtts []float64) (TwoPathAnalysis, error) {
 			return TwoPathAnalysis{}, fmt.Errorf("mptcpsim: loss and rtt must be positive")
 		}
 	}
-	toMbps := func(pktsPerSec float64) float64 { return pktsPerSec * 1500 * 8 / 1e6 }
 	var out TwoPathAnalysis
 	var best float64
 	for i := range loss {
@@ -222,12 +317,12 @@ func AnalyzeTwoPath(loss, rtts []float64) (TwoPathAnalysis, error) {
 			best = r
 		}
 	}
-	out.TCPBestMbps = toMbps(best)
+	out.TCPBestMbps = stats.PktsPerSecMbps(best)
 	for _, r := range core.LIARates(loss, rtts) {
-		out.LIAMbps = append(out.LIAMbps, toMbps(r))
+		out.LIAMbps = append(out.LIAMbps, stats.PktsPerSecMbps(r))
 	}
 	for _, r := range core.OLIARates(loss, rtts) {
-		out.OLIAMbps = append(out.OLIAMbps, toMbps(r))
+		out.OLIAMbps = append(out.OLIAMbps, stats.PktsPerSecMbps(r))
 	}
 	return out, nil
 }

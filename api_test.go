@@ -1,6 +1,7 @@
 package mptcpsim
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -32,6 +33,105 @@ func TestExperimentRegistryExposed(t *testing.T) {
 	}
 	if err := RunExperiment("nope", DefaultConfig(), &b); err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestCollectExperimentStructured pins the structured facade: collecting
+// an experiment yields typed columns and programmatically readable cells,
+// and the same Result renders in every format.
+func TestCollectExperimentStructured(t *testing.T) {
+	r, err := CollectExperiment("fig5b", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig5b" || r.PaperRef != "Figure 5(b)" {
+		t.Fatalf("metadata not stamped: %q %q", r.ID, r.PaperRef)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows collected")
+	}
+	if v, ok := r.Value(0, "c1_over_c2"); !ok || v != 0.1 {
+		t.Fatalf("Value(0, c1_over_c2) = %v, %v", v, ok)
+	}
+	for _, f := range []Format{FormatText, FormatJSON, FormatCSV} {
+		var b strings.Builder
+		if err := RenderResult(r, f, &b); err != nil || b.Len() == 0 {
+			t.Fatalf("RenderResult %s: err=%v, %d bytes", f, err, b.Len())
+		}
+	}
+	if _, err := CollectExperiment("nope", DefaultConfig()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestRunAllFormatJSON pins the facade's JSON stream: one parseable array
+// of Results.
+func TestRunAllFormatJSON(t *testing.T) {
+	var b strings.Builder
+	if err := RunAllFormat([]string{"fig4a", "fig17"}, DefaultConfig(), FormatJSON, &b); err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("RunAllFormat JSON does not parse: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != "fig4a" || got[1].ID != "fig17" {
+		t.Fatalf("unexpected result set (%d entries)", len(got))
+	}
+}
+
+// TestDiffFacade pins the regression-diff entry point.
+func TestDiffFacade(t *testing.T) {
+	a, err := CollectExperiment("fig5b", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectExperiment("fig5b", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(a, b); !d.Empty() {
+		t.Fatalf("identical analytic runs should not differ: %+v", d)
+	}
+	b.Rows[0][1].Value *= 1.5
+	d := Diff(a, b)
+	if len(d.Cells) != 1 || d.Cells[0].Column != "lia_multi" {
+		t.Fatalf("deltas %+v", d.Cells)
+	}
+	if d.MaxRelPct() < 49.99 || d.MaxRelPct() > 50.01 {
+		t.Fatalf("MaxRelPct %v, want 50", d.MaxRelPct())
+	}
+}
+
+func TestReportResultView(t *testing.T) {
+	rep := Report{
+		TotalMbps: 7.5,
+		Paths: []PathReport{
+			{MultipathMbps: 5, BackgroundMbps: 1.5, LossProb: 0.01, CwndPkts: 12},
+			{MultipathMbps: 2.5, BackgroundMbps: 1.2, LossProb: 0.03, CwndPkts: 4},
+		},
+	}
+	r := rep.Result()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	if v, ok := r.Value(1, "multipath"); !ok || v != 2.5 {
+		t.Fatalf("Value(1, multipath) = %v, %v", v, ok)
+	}
+	var b strings.Builder
+	if err := RenderResult(r, FormatText, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "total 7.50 Mb/s") {
+		t.Fatalf("text view missing total:\n%s", b.String())
+	}
+	// The report itself marshals with snake_case tags.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"total_mbps":7.5`) || !strings.Contains(string(raw), `"loss_prob":0.01`) {
+		t.Fatalf("Report JSON tags missing: %s", raw)
 	}
 }
 

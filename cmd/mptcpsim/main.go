@@ -1,4 +1,5 @@
-// Command mptcpsim lists and runs the paper-reproduction experiments.
+// Command mptcpsim lists, runs and compares the paper-reproduction
+// experiments.
 //
 // Usage:
 //
@@ -8,16 +9,29 @@
 //	mptcpsim -all -full            # paper-scale (120s runs, 5 seeds, K=8)
 //	mptcpsim -all -j 8             # fan simulations out over 8 workers
 //	mptcpsim -run fig13a -seeds 3 -duration 90
+//	mptcpsim -run fig1b -format json -o fig1b.json
+//	mptcpsim -all -format csv -o results.csv
+//	mptcpsim diff old.json new.json          # per-cell regression deltas
+//	mptcpsim diff -tol 5 old.json new.json   # tolerate 5% relative drift
 //
 // Independent simulations (experiments × sweep points × seeds) run
 // concurrently on -j workers (default: all CPUs); every RNG seed derives
 // from the base seed and the job's position in the sweep, so output is
-// byte-identical to a sequential (-j 1) run.
+// byte-identical to a sequential (-j 1) run in every format.
+//
+// -format selects the renderer: text (the paper's aligned tables), json
+// (one array of structured Result objects), or csv (one block per
+// experiment). The diff subcommand reads two files written with
+// -format json, pairs results by experiment ID, and reports every
+// differing cell — the seed of regression gating: it exits 1 when any
+// cell drifts beyond -tol percent.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -28,6 +42,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		diffMain(os.Args[2:])
+		return
+	}
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
 		run      = flag.String("run", "", "comma-separated experiment IDs to run")
@@ -38,6 +56,8 @@ func main() {
 		dcdur    = flag.Float64("dcduration", 0, "override data-center run seconds")
 		k        = flag.Int("k", 0, "override FatTree arity (even)")
 		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
+		format   = flag.String("format", "text", "output format: text, json, or csv")
+		out      = flag.String("o", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -59,6 +79,12 @@ func main() {
 	}
 	cfg.Workers = *jobs
 
+	f, err := mptcpsim.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	switch {
 	case *list:
 		fmt.Printf("%-8s %-14s %s\n", "ID", "PAPER", "TITLE")
@@ -66,7 +92,7 @@ func main() {
 			fmt.Printf("%-8s %-14s %s\n", e.ID, e.PaperRef, e.Title)
 		}
 	case *all:
-		runAll(nil, cfg)
+		runAll(nil, cfg, f, *out)
 	case *run != "":
 		var ids []string
 		for _, id := range strings.Split(*run, ",") {
@@ -78,19 +104,112 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mptcpsim: -run needs at least one experiment ID")
 			os.Exit(2)
 		}
-		runAll(ids, cfg)
+		runAll(ids, cfg, f, *out)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runAll(ids []string, cfg mptcpsim.Config) {
+func runAll(ids []string, cfg mptcpsim.Config, format mptcpsim.Format, outPath string) {
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
 	workers := runner.Workers(cfg.Workers)
 	t0 := time.Now()
-	if err := mptcpsim.RunAll(ids, cfg, os.Stdout); err != nil {
+	if err := mptcpsim.RunAllFormat(ids, cfg, format, w); err != nil {
 		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n(total %v on %d workers)\n", time.Since(t0).Round(time.Millisecond), workers)
+	// Timing goes to stderr so machine-readable stdout stays parseable.
+	fmt.Fprintf(os.Stderr, "(total %v on %d workers)\n", time.Since(t0).Round(time.Millisecond), workers)
+}
+
+// diffMain implements `mptcpsim diff a.json b.json`: load two result sets
+// written with -format json, pair them by experiment ID, and report every
+// per-cell delta. Exits 1 when any cell drifts beyond -tol percent (or a
+// result's shape changed), 0 when everything matches.
+func diffMain(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0, "tolerated relative drift per cell, in percent")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mptcpsim diff [-tol pct] old.json new.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	a, err := loadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
+		os.Exit(1)
+	}
+	b, err := loadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
+		os.Exit(1)
+	}
+	byID := make(map[string]*mptcpsim.Result, len(b))
+	for _, r := range b {
+		byID[r.ID] = r
+	}
+	failed := false
+	for _, ra := range a {
+		rb, ok := byID[ra.ID]
+		if !ok {
+			fmt.Printf("%s: missing from %s\n", ra.ID, fs.Arg(1))
+			failed = true
+			continue
+		}
+		delete(byID, ra.ID)
+		d := mptcpsim.Diff(ra, rb)
+		d.RenderText(os.Stdout)
+		if len(d.ShapeNotes) > 0 {
+			failed = true
+		}
+		for _, c := range d.Cells {
+			// Text changes and drift from an exact zero have no relative
+			// measure; they always exceed the tolerance.
+			if c.TextA != "" || c.TextB != "" || c.A == 0 || c.RelPct > *tol {
+				failed = true
+				break
+			}
+		}
+	}
+	for _, r := range b {
+		if _, orphan := byID[r.ID]; orphan {
+			fmt.Printf("%s: missing from %s\n", r.ID, fs.Arg(0))
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadResults reads a JSON file holding either one Result object or an
+// array of them (the -format json output).
+func loadResults(path string) ([]*mptcpsim.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var many []*mptcpsim.Result
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one mptcpsim.Result
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("%s: not a Result or []Result JSON file: %w", path, err)
+	}
+	return []*mptcpsim.Result{&one}, nil
 }

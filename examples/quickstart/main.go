@@ -1,5 +1,6 @@
 // Quickstart: simulate one multipath user over two bottleneck paths with
-// OLIA and with LIA, and compare against the analytic fixed points.
+// OLIA and with LIA, read the structured results programmatically (no text
+// parsing), and compare against the analytic fixed points.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mptcpsim"
 )
@@ -29,10 +31,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Every report has a structured Result view: typed columns, rows of
+		// cells — the same model the experiment registry collects into.
+		res := rep.Result()
 		fmt.Printf("%s: total %.2f Mb/s\n", algo, rep.TotalMbps)
-		for i, p := range rep.Paths {
+		for i := range res.Rows {
+			mp, _ := res.Value(i, "multipath")
+			bg, _ := res.Value(i, "background")
+			loss, _ := res.Value(i, "loss_prob")
+			cwnd, _ := res.Value(i, "cwnd")
 			fmt.Printf("  path %d: multipath %.2f Mb/s, background TCP %.2f Mb/s, loss %.4f, cwnd %.1f pkts\n",
-				i+1, p.MultipathMbps, p.BackgroundMbps, p.LossProb, p.CwndPkts)
+				i+1, mp, bg, loss, cwnd)
+		}
+		if algo == "lia" {
+			// The same Result renders as JSON or CSV for anything downstream
+			// (dashboards, regression gates — see `mptcpsim diff`).
+			fmt.Println("\nthe LIA run as CSV:")
+			if err := mptcpsim.RenderResult(res, mptcpsim.FormatCSV, os.Stdout); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 

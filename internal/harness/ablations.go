@@ -69,7 +69,7 @@ func runTwoLink(cfg Config, c topo.TwoLinkConfig) twoLinkOutcome {
 // ablationEpsilon sweeps the ε-family of §II on the symmetric two-link rig:
 // ε=0 (fully coupled, Pareto-optimal but flappy), ε=1 (LIA), OLIA, and ε=2
 // (uncoupled, grabs two fair shares).
-func ablationEpsilon(cfg Config, w io.Writer) error {
+func ablationEpsilon(cfg Config) (*Result, error) {
 	algos := []string{"fullycoupled", "lia", "olia", "uncoupled"}
 	outs := perPoint(cfg, algos, func(algo string) twoLinkOutcome {
 		return runTwoLink(cfg, topo.TwoLinkConfig{
@@ -77,22 +77,47 @@ func ablationEpsilon(cfg Config, w io.Writer) error {
 			Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
 		})
 	})
-	fmt.Fprintln(w, "Symmetric two-link rig (Fig. 6a): 10 Mb/s links, 5 TCP flows each; fair share 1.67 Mb/s")
-	fmt.Fprintf(w, "%-14s | %-9s %-9s %-9s | %-9s | %s\n",
-		"algorithm", "mp total", "mp link1", "mp link2", "TCP mean", "w1/w2 flips")
+	r := &Result{
+		Preamble: []string{"Symmetric two-link rig (Fig. 6a): 10 Mb/s links, 5 TCP flows each; fair share 1.67 Mb/s"},
+		Columns: []Column{
+			{Name: "algorithm"},
+			{Name: "mp_total", Unit: "Mb/s"}, {Name: "mp_link1", Unit: "Mb/s"}, {Name: "mp_link2", Unit: "Mb/s"},
+			{Name: "tcp_mean", Unit: "Mb/s"}, {Name: "flips"},
+		},
+		Footer: []string{"(expected: uncoupled ≈ 2 shares; lia/olia ≈ 1 share; fullycoupled flips most)"},
+	}
 	for i, algo := range algos {
 		o := outs[i]
-		fmt.Fprintf(w, "%-14s | %-9.2f %-9.2f %-9.2f | %-9.2f | %d\n",
-			algo, o.mp1+o.mp2, o.mp1, o.mp2, (o.bg1+o.bg2)/2, o.flipsCount)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(algo),
+			NumCell(o.mp1 + o.mp2), NumCell(o.mp1), NumCell(o.mp2),
+			NumCell((o.bg1 + o.bg2) / 2), IntCell(o.flipsCount),
+		})
 	}
-	fmt.Fprintln(w, "(expected: uncoupled ≈ 2 shares; lia/olia ≈ 1 share; fullycoupled flips most)")
+	return r, nil
+}
+
+// textAblationEpsilon is the classic ε-family table layout.
+func textAblationEpsilon(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-14s | %-9s %-9s %-9s | %-9s | %s\n",
+		"algorithm", "mp total", "mp link1", "mp link2", "TCP mean", "w1/w2 flips")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-14s | %-9.2f %-9.2f %-9.2f | %-9.2f | %d\n",
+			c[0].Text, c[1].Value, c[2].Value, c[3].Value, c[4].Value, c[5].Int())
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
 // ablationQueue reruns the asymmetric rig under RED and DropTail: the
 // paper's conclusions do not depend on the queueing discipline (§VI-B
 // studies drop-tail in htsim).
-func ablationQueue(cfg Config, w io.Writer) error {
+func ablationQueue(cfg Config) (*Result, error) {
 	type point struct {
 		kind netem.QueueKind
 		algo string
@@ -109,26 +134,50 @@ func ablationQueue(cfg Config, w io.Writer) error {
 			Ctrl: topo.Controllers[p.algo], Seed: cfg.BaseSeed,
 		})
 	})
-	fmt.Fprintln(w, "Asymmetric rig (Fig. 6b): link2 shared with 10 TCP flows; congested-path traffic by discipline")
-	fmt.Fprintf(w, "%-10s %-10s | %-10s %-10s | %s\n",
-		"queue", "algorithm", "mp link1", "mp link2", "TCP mean on link2")
+	r := &Result{
+		Preamble: []string{"Asymmetric rig (Fig. 6b): link2 shared with 10 TCP flows; congested-path traffic by discipline"},
+		Columns: []Column{
+			{Name: "queue"}, {Name: "algorithm"},
+			{Name: "mp_link1", Unit: "Mb/s"}, {Name: "mp_link2", Unit: "Mb/s"},
+			{Name: "tcp_link2", Unit: "Mb/s"},
+		},
+		Footer: []string{"(expected: OLIA's link2 traffic stays near the probing floor under both disciplines)"},
+	}
 	for i, p := range pts {
 		kindName := "RED"
 		if p.kind == netem.QueueDropTail {
 			kindName = "DropTail"
 		}
 		o := outs[i]
-		fmt.Fprintf(w, "%-10s %-10s | %-10.2f %-10.2f | %.2f\n",
-			kindName, p.algo, o.mp1, o.mp2, o.bg2)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(kindName), TextCell(p.algo),
+			NumCell(o.mp1), NumCell(o.mp2), NumCell(o.bg2),
+		})
 	}
-	fmt.Fprintln(w, "(expected: OLIA's link2 traffic stays near the probing floor under both disciplines)")
+	return r, nil
+}
+
+// textAblationQueue is the classic RED-vs-DropTail table layout.
+func textAblationQueue(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-10s %-10s | %-10s %-10s | %s\n",
+		"queue", "algorithm", "mp link1", "mp link2", "TCP mean on link2")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-10s %-10s | %-10.2f %-10.2f | %.2f\n",
+			c[0].Text, c[1].Text, c[2].Value, c[3].Value, c[4].Value)
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
 // ablationSsthresh compares the paper's subflow setting (ssthresh = 1 MSS,
 // §IV-B) with normal slow start on the asymmetric rig: slow-starting
 // subflows repeatedly blast the congested path.
-func ablationSsthresh(cfg Config, w io.Writer) error {
+func ablationSsthresh(cfg Config) (*Result, error) {
 	variants := []bool{false, true}
 	outs := perPoint(cfg, variants, func(keepSS bool) twoLinkOutcome {
 		return runTwoLink(cfg, topo.TwoLinkConfig{
@@ -137,23 +186,44 @@ func ablationSsthresh(cfg Config, w io.Writer) error {
 			KeepSlowStart: keepSS,
 		})
 	})
-	fmt.Fprintln(w, "Asymmetric rig: effect of the §IV-B subflow ssthresh=1 setting")
-	fmt.Fprintf(w, "%-22s | %-10s %-10s | %s\n",
-		"subflow start", "mp link1", "mp link2", "TCP mean on link2")
+	r := &Result{
+		Preamble: []string{"Asymmetric rig: effect of the §IV-B subflow ssthresh=1 setting"},
+		Columns: []Column{
+			{Name: "subflow_start"},
+			{Name: "mp_link1", Unit: "Mb/s"}, {Name: "mp_link2", Unit: "Mb/s"},
+			{Name: "tcp_link2", Unit: "Mb/s"},
+		},
+	}
 	for i, keepSS := range variants {
 		name := "ssthresh=1 (paper)"
 		if keepSS {
 			name = "normal slow start"
 		}
 		o := outs[i]
-		fmt.Fprintf(w, "%-22s | %-10.2f %-10.2f | %.2f\n", name, o.mp1, o.mp2, o.bg2)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(name), NumCell(o.mp1), NumCell(o.mp2), NumCell(o.bg2),
+		})
+	}
+	return r, nil
+}
+
+// textAblationSsthresh is the classic ssthresh-ablation table layout.
+func textAblationSsthresh(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-22s | %-10s %-10s | %s\n",
+		"subflow start", "mp link1", "mp link2", "TCP mean on link2")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-22s | %-10.2f %-10.2f | %.2f\n",
+			c[0].Text, c[1].Value, c[2].Value, c[3].Value)
 	}
 	return nil
 }
 
 // ablationCap compares OLIA with and without the per-ACK Reno cap (goal 2's
 // "never more aggressive than TCP on any path").
-func ablationCap(cfg Config, w io.Writer) error {
+func ablationCap(cfg Config) (*Result, error) {
 	variants := []bool{false, true}
 	outs := perPoint(cfg, variants, func(noCap bool) twoLinkOutcome {
 		return runTwoLink(cfg, topo.TwoLinkConfig{
@@ -162,15 +232,34 @@ func ablationCap(cfg Config, w io.Writer) error {
 			SubflowCfg: tcp.Config{NoIncreaseCap: noCap},
 		})
 	})
-	fmt.Fprintln(w, "Symmetric rig: effect of the per-ACK increase cap (RFC 6356 goal 2)")
-	fmt.Fprintf(w, "%-14s | %-10s | %s\n", "increase cap", "mp total", "TCP mean")
+	r := &Result{
+		Preamble: []string{"Symmetric rig: effect of the per-ACK increase cap (RFC 6356 goal 2)"},
+		Columns: []Column{
+			{Name: "increase_cap"},
+			{Name: "mp_total", Unit: "Mb/s"}, {Name: "tcp_mean", Unit: "Mb/s"},
+		},
+	}
 	for i, noCap := range variants {
 		name := "capped (std)"
 		if noCap {
 			name = "uncapped"
 		}
 		o := outs[i]
-		fmt.Fprintf(w, "%-14s | %-10.2f | %.2f\n", name, o.mp1+o.mp2, (o.bg1+o.bg2)/2)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(name), NumCell(o.mp1 + o.mp2), NumCell((o.bg1 + o.bg2) / 2),
+		})
+	}
+	return r, nil
+}
+
+// textAblationCap is the classic increase-cap table layout.
+func textAblationCap(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-14s | %-10s | %s\n", "increase cap", "mp total", "TCP mean")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-14s | %-10.2f | %.2f\n", c[0].Text, c[1].Value, c[2].Value)
 	}
 	return nil
 }
@@ -180,24 +269,28 @@ func init() {
 		ID:       "ablation-epsilon",
 		PaperRef: "§II design space",
 		Title:    "ε-family sweep: fully coupled (ε=0) vs LIA (ε=1) vs OLIA vs uncoupled (ε=2) on symmetric links",
-		Run:      ablationEpsilon,
+		Collect:  ablationEpsilon,
+		Text:     textAblationEpsilon,
 	})
 	register(&Experiment{
 		ID:       "ablation-queue",
 		PaperRef: "§III / §VI-B queueing",
 		Title:    "RED vs DropTail bottlenecks: OLIA's congestion balancing holds under both disciplines",
-		Run:      ablationQueue,
+		Collect:  ablationQueue,
+		Text:     textAblationQueue,
 	})
 	register(&Experiment{
 		ID:       "ablation-ssthresh",
 		PaperRef: "§IV-B",
 		Title:    "Subflow ssthresh=1 vs normal slow start on a congested path",
-		Run:      ablationSsthresh,
+		Collect:  ablationSsthresh,
+		Text:     textAblationSsthresh,
 	})
 	register(&Experiment{
 		ID:       "ablation-cap",
 		PaperRef: "RFC 6356 goal 2",
 		Title:    "Per-ACK increase cap on vs off",
-		Run:      ablationCap,
+		Collect:  ablationCap,
+		Text:     textAblationCap,
 	})
 }

@@ -112,31 +112,54 @@ func collectDCThroughput(cfg Config, pts []dcPoint) []dcAggregate {
 	return out
 }
 
-// fig13a prints aggregate throughput (% of optimal) vs number of subflows
-// for LIA, OLIA and single-path TCP.
-func fig13a(cfg Config, w io.Writer) error {
+// fig13a collects aggregate throughput (% of optimal) vs number of
+// subflows for LIA, OLIA and single-path TCP.
+func fig13a(cfg Config) (*Result, error) {
 	pts := []dcPoint{{"tcp", 1}}
 	for _, nsub := range cfg.Subflows {
 		pts = append(pts, dcPoint{"lia", nsub}, dcPoint{"olia", nsub})
 	}
 	res := collectDCThroughput(cfg, pts)
 
-	fmt.Fprintf(w, "FatTree K=%d (%d hosts), random permutation, long-lived flows\n",
-		cfg.FatTreeK, cfg.FatTreeK*cfg.FatTreeK*cfg.FatTreeK/4)
-	fmt.Fprintf(w, "%-9s | %s\n", "subflows", "aggregate throughput (% of optimal)")
-	fmt.Fprintf(w, "%-9s | %-12s %-12s %-12s\n", "", "MPTCP-LIA", "MPTCP-OLIA", "TCP")
+	r := &Result{
+		Preamble: []string{fmt.Sprintf("FatTree K=%d (%d hosts), random permutation, long-lived flows",
+			cfg.FatTreeK, cfg.FatTreeK*cfg.FatTreeK*cfg.FatTreeK/4)},
+		Columns: []Column{
+			{Name: "subflows"},
+			{Name: "lia", Unit: "% of optimal"}, {Name: "olia", Unit: "% of optimal"},
+			{Name: "tcp", Unit: "% of optimal"},
+		},
+	}
 	tcpAgg := res[0].agg
 	for i, nsub := range cfg.Subflows {
-		lia, olia := res[1+2*i].agg, res[2+2*i].agg
+		r.Rows = append(r.Rows, []Cell{
+			IntCell(nsub),
+			SummaryCell(res[1+2*i].agg), SummaryCell(res[2+2*i].agg), SummaryCell(tcpAgg),
+		})
+	}
+	return r, nil
+}
+
+// textFig13a is the classic Fig. 13(a) layout.
+func textFig13a(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-9s | %s\n", "subflows", "aggregate throughput (% of optimal)")
+	fmt.Fprintf(w, "%-9s | %-12s %-12s %-12s\n", "", "MPTCP-LIA", "MPTCP-OLIA", "TCP")
+	for _, c := range r.Rows {
 		fmt.Fprintf(w, "%-9d | %5.1f±%-5.1f %5.1f±%-5.1f %5.1f±%-5.1f\n",
-			nsub, lia.Mean(), lia.CI95(), olia.Mean(), olia.CI95(), tcpAgg.Mean(), tcpAgg.CI95())
+			c[0].Int(), c[1].Value, c[1].CI95, c[2].Value, c[2].CI95, c[3].Value, c[3].CI95)
 	}
 	return nil
 }
 
-// fig13b prints the ranked per-flow throughput distribution at the maximum
-// subflow count (the paper uses 8).
-func fig13b(cfg Config, w io.Writer) error {
+// fig13bQuantiles are the ranked-distribution percentiles of Fig. 13(b).
+var fig13bQuantiles = []float64{0, 10, 25, 50, 75, 90, 100}
+
+// fig13b collects the ranked per-flow throughput distribution at the
+// maximum subflow count (the paper uses 8).
+func fig13b(cfg Config) (*Result, error) {
 	nsub := cfg.Subflows[len(cfg.Subflows)-1]
 	pts := []dcPoint{{"lia", nsub}, {"olia", nsub}, {"tcp", 1}}
 	// One repetition at the base seed, as in the paper's ranked plot.
@@ -144,18 +167,38 @@ func fig13b(cfg Config, w io.Writer) error {
 		return dcThroughput(cfg, p.algo, p.nsub, cfg.BaseSeed)
 	})
 
-	fmt.Fprintf(w, "FatTree K=%d, per-flow throughput percentiles (%% of optimal), %d subflows\n",
-		cfg.FatTreeK, nsub)
+	r := &Result{
+		Preamble: []string{fmt.Sprintf("FatTree K=%d, per-flow throughput percentiles (%% of optimal), %d subflows",
+			cfg.FatTreeK, nsub)},
+		Columns: []Column{{Name: "algo"}},
+	}
+	for _, q := range fig13bQuantiles {
+		r.Columns = append(r.Columns, Column{Name: fmt.Sprintf("p%.0f", q), Unit: "% of optimal"})
+	}
+	for i, p := range pts {
+		cells := []Cell{TextCell(p.algo)}
+		for _, q := range fig13bQuantiles {
+			cells = append(cells, NumCell(stats.Percentile(perFlow[i], q)))
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	return r, nil
+}
+
+// textFig13b is the classic Fig. 13(b) layout.
+func textFig13b(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
 	fmt.Fprintf(w, "%-10s |", "algo")
-	qs := []float64{0, 10, 25, 50, 75, 90, 100}
-	for _, q := range qs {
+	for _, q := range fig13bQuantiles {
 		fmt.Fprintf(w, " p%-5.0f", q)
 	}
 	fmt.Fprintln(w)
-	for i, p := range pts {
-		fmt.Fprintf(w, "%-10s |", p.algo)
-		for _, q := range qs {
-			fmt.Fprintf(w, " %-6.1f", stats.Percentile(perFlow[i], q))
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-10s |", c[0].Text)
+		for i := range fig13bQuantiles {
+			fmt.Fprintf(w, " %-6.1f", c[1+i].Value)
 		}
 		fmt.Fprintln(w)
 	}
@@ -224,52 +267,101 @@ func collectDCShortFlows(cfg Config) [][]shortFlowResult {
 	})
 }
 
-// table3 prints short-flow completion statistics and core utilization.
-func table3(cfg Config, w io.Writer) error {
+// table3 collects short-flow completion statistics and core utilization.
+func table3(cfg Config) (*Result, error) {
 	res := collectDCShortFlows(cfg)
-	fmt.Fprintf(w, "4:1 oversubscribed FatTree K=%d; 1/3 hosts long flows, rest 70KB shorts every 200ms\n", cfg.FatTreeK)
-	fmt.Fprintf(w, "%-12s | %-22s | %-10s | %s\n", "algorithm", "short-flow finish (ms)", "core util", "flows")
+	r := &Result{
+		Preamble: []string{fmt.Sprintf(
+			"4:1 oversubscribed FatTree K=%d; 1/3 hosts long flows, rest 70KB shorts every 200ms", cfg.FatTreeK)},
+		Columns: []Column{
+			{Name: "algorithm"}, {Name: "finish", Unit: "ms"},
+			{Name: "core_util", Unit: "%"}, {Name: "flows"},
+		},
+		Footer: []string{"(paper: LIA 98±57 ms / 63.2%; OLIA 90±42 ms / 63%; TCP 73±57 ms / 39.3%)"},
+	}
 	for i, algo := range dcShortAlgos {
 		var sum stats.Summary
 		var util stats.Summary
 		var count int
-		for _, r := range res[i] {
-			for _, c := range r.completions {
+		for _, sr := range res[i] {
+			for _, c := range sr.completions {
 				sum.Add(c * 1000)
 			}
-			util.Add(r.coreUtilPct)
-			count += len(r.completions)
+			util.Add(sr.coreUtilPct)
+			count += len(sr.completions)
 		}
 		name := "MPTCP-" + algo
 		if algo == "tcp" {
 			name = "TCP"
 		}
-		fmt.Fprintf(w, "%-12s | %6.0f ± %-6.0f        | %5.1f%%     | %d\n",
-			name, sum.Mean(), sum.Stdev(), util.Mean(), count)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(name), SummaryCell(sum), SummaryCell(util), IntCell(count),
+		})
 	}
-	fmt.Fprintln(w, "(paper: LIA 98±57 ms / 63.2%; OLIA 90±42 ms / 63%; TCP 73±57 ms / 39.3%)")
+	return r, nil
+}
+
+// textTable3 is the classic Table III layout (finish times as mean ± stdev,
+// as the paper reports them).
+func textTable3(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-12s | %-22s | %-10s | %s\n", "algorithm", "short-flow finish (ms)", "core util", "flows")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-12s | %6.0f ± %-6.0f        | %5.1f%%     | %d\n",
+			c[0].Text, c[1].Value, c[1].Stdev, c[2].Value, c[3].Int())
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
-// fig14 prints the completion-time PDFs.
-func fig14(cfg Config, w io.Writer) error {
+// fig14Buckets is the completion-time histogram shape: 20 ms buckets over
+// 0–300 ms.
+const fig14Buckets = 15
+
+// fig14 collects the completion-time PDFs.
+func fig14(cfg Config) (*Result, error) {
 	res := collectDCShortFlows(cfg)
-	fmt.Fprintf(w, "Short-flow completion-time PDF (1/s), buckets of 20 ms over 0-300 ms\n")
-	fmt.Fprintf(w, "%-10s |", "ms")
-	for b := 0; b < 15; b++ {
-		fmt.Fprintf(w, " %5d", b*20+10)
+	r := &Result{
+		Preamble: []string{"Short-flow completion-time PDF (1/s), buckets of 20 ms over 0-300 ms"},
+		Columns:  []Column{{Name: "algo"}},
 	}
-	fmt.Fprintln(w)
+	for b := 0; b < fig14Buckets; b++ {
+		r.Columns = append(r.Columns, Column{Name: fmt.Sprintf("p_%dms", b*20+10), Unit: "1/s"})
+	}
 	for i, algo := range dcShortAlgos {
-		h := stats.NewHistogram(0, 0.3, 15)
-		for _, r := range res[i] {
-			for _, c := range r.completions {
+		h := stats.NewHistogram(0, 0.3, fig14Buckets)
+		for _, sr := range res[i] {
+			for _, c := range sr.completions {
 				h.Add(c)
 			}
 		}
-		fmt.Fprintf(w, "%-10s |", algo)
+		cells := []Cell{TextCell(algo)}
 		for _, d := range h.PDF() {
-			fmt.Fprintf(w, " %5.2f", d)
+			cells = append(cells, NumCell(d))
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	return r, nil
+}
+
+// textFig14 is the classic Fig. 14 layout.
+func textFig14(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-10s |", "ms")
+	for b := 0; b < fig14Buckets; b++ {
+		fmt.Fprintf(w, " %5d", b*20+10)
+	}
+	fmt.Fprintln(w)
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-10s |", c[0].Text)
+		for b := 0; b < fig14Buckets; b++ {
+			fmt.Fprintf(w, " %5.2f", c[1+b].Value)
 		}
 		fmt.Fprintln(w)
 	}
@@ -281,24 +373,28 @@ func init() {
 		ID:       "fig13a",
 		PaperRef: "Figure 13(a)",
 		Title:    "FatTree aggregate throughput vs number of subflows: MPTCP (either coupling) exploits path diversity, TCP cannot",
-		Run:      fig13a,
+		Collect:  fig13a,
+		Text:     textFig13a,
 	})
 	register(&Experiment{
 		ID:       "fig13b",
 		PaperRef: "Figure 13(b)",
 		Title:    "FatTree ranked per-flow throughput: LIA and OLIA provide similar fairness, far above TCP",
-		Run:      fig13b,
+		Collect:  fig13b,
+		Text:     textFig13b,
 	})
 	register(&Experiment{
 		ID:       "fig14",
 		PaperRef: "Figure 14",
 		Title:    "Short-flow completion-time PDF in a dynamic oversubscribed fabric: OLIA shifts mass to faster completions than LIA",
-		Run:      fig14,
+		Collect:  fig14,
+		Text:     textFig14,
 	})
 	register(&Experiment{
 		ID:       "table3",
 		PaperRef: "Table III",
 		Title:    "Short-flow completion times and core utilization: OLIA ≈10% faster mean than LIA at equal utilization",
-		Run:      table3,
+		Collect:  table3,
+		Text:     textTable3,
 	})
 }

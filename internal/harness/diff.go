@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the seed of the regression tooling: Diff compares two
+// collected Results cell by cell, so two runs of the same experiment —
+// different commits, algorithms patches, worker counts, scales — can be
+// gated on numeric drift instead of eyeballed tables.
+
+// CellDelta is one differing cell between two Results.
+type CellDelta struct {
+	Row    int    `json:"row"`
+	Col    int    `json:"col"`
+	Column string `json:"column"`
+	// For numeric cells: the two values and their difference.
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"` // B - A
+	// RelPct is |Delta| as a percentage of |A| (0 when A is 0).
+	RelPct float64 `json:"rel_pct"`
+	// For text cells that differ, the two labels (numeric fields are 0).
+	TextA string `json:"text_a,omitempty"`
+	TextB string `json:"text_b,omitempty"`
+}
+
+// DiffReport is the outcome of comparing two Results.
+type DiffReport struct {
+	ID string `json:"id"`
+	// ShapeNotes records structural differences (column sets, row counts,
+	// preamble/footer text) that prevent or qualify the cell comparison.
+	ShapeNotes []string `json:"shape_notes,omitempty"`
+	// Cells lists every differing cell, in row-major order.
+	Cells []CellDelta `json:"cells,omitempty"`
+	// Compared counts the cell pairs examined.
+	Compared int `json:"compared"`
+}
+
+// Empty reports whether the two Results were structurally identical and no
+// cell differed.
+func (d *DiffReport) Empty() bool { return len(d.ShapeNotes) == 0 && len(d.Cells) == 0 }
+
+// MaxRelPct returns the largest relative cell deviation in percent.
+func (d *DiffReport) MaxRelPct() float64 {
+	var m float64
+	for _, c := range d.Cells {
+		if c.RelPct > m {
+			m = c.RelPct
+		}
+	}
+	return m
+}
+
+// Diff compares two collected Results cell by cell and reports every
+// per-cell delta. Results with different column sets or row counts are
+// compared over the overlapping shape, with the mismatch recorded in
+// ShapeNotes.
+func Diff(a, b *Result) *DiffReport {
+	d := &DiffReport{ID: a.ID}
+	if a.ID != b.ID {
+		d.ShapeNotes = append(d.ShapeNotes, fmt.Sprintf("comparing %q against %q", a.ID, b.ID))
+	}
+	cols := len(a.Columns)
+	if len(b.Columns) != cols {
+		d.ShapeNotes = append(d.ShapeNotes,
+			fmt.Sprintf("column count differs: %d vs %d", len(a.Columns), len(b.Columns)))
+		cols = min(cols, len(b.Columns))
+	}
+	for i := 0; i < cols; i++ {
+		if a.Columns[i].Name != b.Columns[i].Name {
+			d.ShapeNotes = append(d.ShapeNotes,
+				fmt.Sprintf("column %d differs: %q vs %q", i, a.Columns[i].Name, b.Columns[i].Name))
+		}
+	}
+	rows := len(a.Rows)
+	if len(b.Rows) != rows {
+		d.ShapeNotes = append(d.ShapeNotes,
+			fmt.Sprintf("row count differs: %d vs %d", len(a.Rows), len(b.Rows)))
+		rows = min(rows, len(b.Rows))
+	}
+	for ri := 0; ri < rows; ri++ {
+		n := min(len(a.Rows[ri]), len(b.Rows[ri]))
+		for ci := 0; ci < n; ci++ {
+			ca, cb := a.Rows[ri][ci], b.Rows[ri][ci]
+			d.Compared++
+			name := ""
+			if ci < len(a.Columns) {
+				name = a.Columns[ci].Name
+			}
+			switch {
+			case ca.Kind == CellText || cb.Kind == CellText:
+				if ca.Kind != cb.Kind || ca.Text != cb.Text {
+					d.Cells = append(d.Cells, CellDelta{
+						Row: ri, Col: ci, Column: name,
+						TextA: cellLabel(ca), TextB: cellLabel(cb),
+					})
+				}
+			case ca.Value != cb.Value:
+				cd := CellDelta{
+					Row: ri, Col: ci, Column: name,
+					A: ca.Value, B: cb.Value, Delta: cb.Value - ca.Value,
+				}
+				if ca.Value != 0 {
+					cd.RelPct = math.Abs(cd.Delta) / math.Abs(ca.Value) * 100
+				}
+				d.Cells = append(d.Cells, cd)
+			}
+		}
+	}
+	if notes := diffLines("preamble", a.Preamble, b.Preamble); notes != "" {
+		d.ShapeNotes = append(d.ShapeNotes, notes)
+	}
+	if notes := diffLines("footer", a.Footer, b.Footer); notes != "" {
+		d.ShapeNotes = append(d.ShapeNotes, notes)
+	}
+	return d
+}
+
+// cellLabel renders a cell for a text-mismatch delta.
+func cellLabel(c Cell) string {
+	if c.Kind == CellText {
+		return c.Text
+	}
+	return fmt.Sprintf("%g", c.Value)
+}
+
+// diffLines reports the first differing line of a rendered-text section.
+func diffLines(what string, a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%s line count differs: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s line %d differs: %q vs %q", what, i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// RenderText writes a human-readable delta report.
+func (d *DiffReport) RenderText(w io.Writer) error {
+	if d.Empty() {
+		_, err := fmt.Fprintf(w, "%s: identical (%d cells compared)\n", d.ID, d.Compared)
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d of %d cells differ", d.ID, len(d.Cells), d.Compared)
+	if len(d.Cells) > 0 {
+		fmt.Fprintf(w, " (max %.2f%%)", d.MaxRelPct())
+	}
+	fmt.Fprintln(w)
+	for _, n := range d.ShapeNotes {
+		fmt.Fprintf(w, "  ! %s\n", n)
+	}
+	for _, c := range d.Cells {
+		if c.TextA != "" || c.TextB != "" {
+			fmt.Fprintf(w, "  row %2d %-24s %q -> %q\n", c.Row, c.Column, c.TextA, c.TextB)
+			continue
+		}
+		fmt.Fprintf(w, "  row %2d %-24s %12.6g -> %-12.6g (%+.6g, %.2f%%)\n",
+			c.Row, c.Column, c.A, c.B, c.Delta, c.RelPct)
+	}
+	return nil
+}

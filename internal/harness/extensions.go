@@ -56,14 +56,22 @@ func runProbeSuspension(cfg Config, enable bool, seed int64) probeMetrics {
 // persistently-bad paths drops the probing traffic below 1 MSS per RTT,
 // pushing the single-path users of a Scenario-C-like network past the
 // "optimum with probing cost" line.
-func extProbe(cfg Config, w io.Writer) error {
+func extProbe(cfg Config) (*Result, error) {
 	variants := []bool{false, true}
 	per := sweep(cfg, variants, func(enable bool, seed int64) probeMetrics {
 		return runProbeSuspension(cfg, enable, seed)
 	})
-	fmt.Fprintln(w, "Scenario C (N1=20, N2=10, C1/C2=2) with OLIA: bad-path suspension (§VII)")
-	fmt.Fprintf(w, "%-24s | %-18s | %-18s | %s\n",
-		"variant", "single-path (norm)", "multipath (norm)", "suspensions")
+	opt := 1 - 2.0*0.08 // optimum-with-probing single-path norm at N1/N2=2
+	r := &Result{
+		Preamble: []string{"Scenario C (N1=20, N2=10, C1/C2=2) with OLIA: bad-path suspension (§VII)"},
+		Columns: []Column{
+			{Name: "variant"},
+			{Name: "single", Unit: "norm"}, {Name: "multi", Unit: "norm"},
+			{Name: "suspensions"},
+		},
+		Footer: []string{fmt.Sprintf(
+			"(optimum WITH probing cost for singles: %.3f; suspension can exceed it)", opt)},
+	}
 	for i, enable := range variants {
 		var single, multi stats.Summary
 		suspends := 0
@@ -76,18 +84,34 @@ func extProbe(cfg Config, w io.Writer) error {
 		if enable {
 			name = "bad-path suspension"
 		}
-		fmt.Fprintf(w, "%-24s | %8.3f±%-8.3f | %8.3f±%-8.3f | %d\n",
-			name, single.Mean(), single.CI95(), multi.Mean(), multi.CI95(), suspends)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(name), SummaryCell(single), SummaryCell(multi), IntCell(suspends),
+		})
 	}
-	opt := 1 - 2.0*0.08 // optimum-with-probing single-path norm at N1/N2=2
-	fmt.Fprintf(w, "(optimum WITH probing cost for singles: %.3f; suspension can exceed it)\n", opt)
+	return r, nil
+}
+
+// textExtProbe is the classic bad-path-suspension table layout.
+func textExtProbe(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-24s | %-18s | %-18s | %s\n",
+		"variant", "single-path (norm)", "multipath (norm)", "suspensions")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-24s | %8.3f±%-8.3f | %8.3f±%-8.3f | %d\n",
+			c[0].Text, c[1].Value, c[1].CI95, c[2].Value, c[2].CI95, c[3].Int())
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
 // extRwnd evaluates receive-window limitations (§VII's last suggestion): a
 // multipath user whose peer advertises a small window cannot even reach its
 // best-path TCP rate, regardless of coupling.
-func extRwnd(cfg Config, w io.Writer) error {
+func extRwnd(cfg Config) (*Result, error) {
 	rwnds := []float64{0, 16, 8, 4}
 	outs := perPoint(cfg, rwnds, func(rwnd float64) twoLinkOutcome {
 		c := topo.TwoLinkConfig{
@@ -97,15 +121,34 @@ func extRwnd(cfg Config, w io.Writer) error {
 		c.SubflowCfg.MaxCwndPkts = rwnd
 		return runTwoLink(cfg, c)
 	})
-	fmt.Fprintln(w, "Two-link rig, OLIA: effect of a receive-window cap on the aggregate")
-	fmt.Fprintf(w, "%-12s | %-10s | %s\n", "rwnd (pkts)", "mp total", "TCP mean")
+	r := &Result{
+		Preamble: []string{"Two-link rig, OLIA: effect of a receive-window cap on the aggregate"},
+		Columns: []Column{
+			{Name: "rwnd", Unit: "pkts"},
+			{Name: "mp_total", Unit: "Mb/s"}, {Name: "tcp_mean", Unit: "Mb/s"},
+		},
+	}
 	for i, rwnd := range rwnds {
 		o := outs[i]
 		label := "unlimited"
 		if rwnd > 0 {
 			label = fmt.Sprintf("%.0f", rwnd)
 		}
-		fmt.Fprintf(w, "%-12s | %-10.2f | %.2f\n", label, o.mp1+o.mp2, (o.bg1+o.bg2)/2)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(label), NumCell(o.mp1 + o.mp2), NumCell((o.bg1 + o.bg2) / 2),
+		})
+	}
+	return r, nil
+}
+
+// textExtRwnd is the classic receive-window table layout.
+func textExtRwnd(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-12s | %-10s | %s\n", "rwnd (pkts)", "mp total", "TCP mean")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-12s | %-10.2f | %.2f\n", c[0].Text, c[1].Value, c[2].Value)
 	}
 	return nil
 }
@@ -137,20 +180,44 @@ func runSerialTransfers(cfg Config, mode string, size int64, transfers int) stre
 // paths: connection-level completion time is the metric, so reassembly
 // head-of-line blocking is included — a facet the paper leaves to future
 // work ("flow durations").
-func extStreams(cfg Config, w io.Writer) error {
+func extStreams(cfg Config) (*Result, error) {
 	const xferBytes = 512 * 1024
 	const transfers = 20
 	modes := []string{"tcp", "mptcp-olia stream"}
 	outs := perPoint(cfg, modes, func(mode string) streamOutcome {
 		return runSerialTransfers(cfg, mode, xferBytes, transfers)
 	})
-	fmt.Fprintf(w, "Serial %d KB transfers over the two-link rig (2 bg TCP flows per link)\n", xferBytes/1024)
-	fmt.Fprintf(w, "%-22s | %-16s | %s\n", "transport", "completion (s)", "completed")
-	for _, o := range outs {
-		fmt.Fprintf(w, "%-22s | %6.2f ± %-6.2f | %d/%d\n",
-			o.mode, o.sum.Mean(), o.sum.Stdev(), o.sum.N(), transfers)
+	r := &Result{
+		Preamble: []string{fmt.Sprintf(
+			"Serial %d KB transfers over the two-link rig (2 bg TCP flows per link)", xferBytes/1024)},
+		Columns: []Column{
+			{Name: "transport"}, {Name: "completion", Unit: "s"},
+			{Name: "completed"}, {Name: "transfers"},
+		},
+		Footer: []string{"(expected: streams finish faster by pulling both links' spare capacity)"},
 	}
-	fmt.Fprintln(w, "(expected: streams finish faster by pulling both links' spare capacity)")
+	for _, o := range outs {
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(o.mode), SummaryCell(o.sum), IntCell(o.sum.N()), IntCell(transfers),
+		})
+	}
+	return r, nil
+}
+
+// textExtStreams is the classic serial-transfers table layout (completion
+// as mean ± stdev).
+func textExtStreams(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-22s | %-16s | %s\n", "transport", "completion (s)", "completed")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-22s | %6.2f ± %-6.2f | %d/%d\n",
+			c[0].Text, c[1].Value, c[1].Stdev, c[2].Int(), c[3].Int())
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
@@ -203,31 +270,36 @@ func init() {
 		ID:       "ext-probe",
 		PaperRef: "§VII (future work)",
 		Title:    "Extension: suspending bad paths cuts probing traffic below 1 MSS/RTT",
-		Run:      extProbe,
+		Collect:  extProbe,
+		Text:     textExtProbe,
 	})
 	register(&Experiment{
 		ID:       "ext-rwnd",
 		PaperRef: "§VII (future work)",
 		Title:    "Extension: receive-window limitations bound multipath gains",
-		Run:      extRwnd,
+		Collect:  extRwnd,
+		Text:     textExtRwnd,
 	})
 	register(&Experiment{
 		ID:       "ext-streams",
 		PaperRef: "§VII (future work)",
 		Title:    "Extension: finite transfers as MPTCP data-level streams vs single-path TCP",
-		Run:      extStreams,
+		Collect:  extStreams,
+		Text:     textExtStreams,
 	})
 	register(&Experiment{
 		ID:       "ablation-delack",
 		PaperRef: "RFC 1122 receivers",
 		Title:    "Per-segment vs delayed ACKs under OLIA",
-		Run:      ablationDelack,
+		Collect:  ablationDelack,
+		Text:     textAblationDelack,
 	})
 	register(&Experiment{
 		ID:       "ext-rtt",
 		PaperRef: "Remark 3",
 		Title:    "RTT heterogeneity: TCP-compatible couplings favor the short-RTT path even at equal congestion",
-		Run:      extRTT,
+		Collect:  extRTT,
+		Text:     textExtRTT,
 	})
 }
 
@@ -235,7 +307,7 @@ func init() {
 // RTTs, any TCP-compatible algorithm (whose per-path throughput scales as
 // 1/rtt at equal loss) sends more on the short-RTT path; OLIA's ℓ/rtt² best
 // metric makes the preference explicit.
-func extRTT(cfg Config, w io.Writer) error {
+func extRTT(cfg Config) (*Result, error) {
 	algos := []string{"olia", "lia", "uncoupled"}
 	outs := perPoint(cfg, algos, func(algo string) twoLinkOutcome {
 		return runTwoLink(cfg, topo.TwoLinkConfig{
@@ -244,18 +316,42 @@ func extRTT(cfg Config, w io.Writer) error {
 			Ctrl: topo.Controllers[algo], Seed: cfg.BaseSeed,
 		})
 	})
-	fmt.Fprintln(w, "Two links, equal capacity and background (5 TCP each); path 2 RTT 3x path 1")
-	fmt.Fprintf(w, "%-14s | %-12s %-12s | %s\n",
-		"algorithm", "mp short-rtt", "mp long-rtt", "ratio")
+	r := &Result{
+		Preamble: []string{"Two links, equal capacity and background (5 TCP each); path 2 RTT 3x path 1"},
+		Columns: []Column{
+			{Name: "algorithm"},
+			{Name: "mp_short_rtt", Unit: "Mb/s"}, {Name: "mp_long_rtt", Unit: "Mb/s"},
+			{Name: "ratio"},
+		},
+		Footer: []string{"(expected: every algorithm leans to the short-RTT path; the coupled ones more)"},
+	}
 	for i, algo := range algos {
 		o := outs[i]
 		ratio := 0.0
 		if o.mp2 > 0 {
 			ratio = o.mp1 / o.mp2
 		}
-		fmt.Fprintf(w, "%-14s | %-12.2f %-12.2f | %.1f\n", algo, o.mp1, o.mp2, ratio)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(algo), NumCell(o.mp1), NumCell(o.mp2), NumCell(ratio),
+		})
 	}
-	fmt.Fprintln(w, "(expected: every algorithm leans to the short-RTT path; the coupled ones more)")
+	return r, nil
+}
+
+// textExtRTT is the classic RTT-heterogeneity table layout.
+func textExtRTT(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-14s | %-12s %-12s | %s\n",
+		"algorithm", "mp short-rtt", "mp long-rtt", "ratio")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-14s | %-12.2f %-12.2f | %.1f\n",
+			c[0].Text, c[1].Value, c[2].Value, c[3].Value)
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
@@ -302,19 +398,38 @@ func runDelack(cfg Config, delayed bool) delackOutcome {
 
 // ablationDelack compares per-segment acknowledgments (htsim behavior, the
 // default here) with RFC 1122 delayed ACKs on the symmetric rig.
-func ablationDelack(cfg Config, w io.Writer) error {
+func ablationDelack(cfg Config) (*Result, error) {
 	variants := []bool{false, true}
 	outs := perPoint(cfg, variants, func(delayed bool) delackOutcome {
 		return runDelack(cfg, delayed)
 	})
-	fmt.Fprintln(w, "Symmetric rig, OLIA: receiver acknowledgment policy")
-	fmt.Fprintf(w, "%-22s | %-10s | %s\n", "receiver", "mp total", "TCP mean")
+	r := &Result{
+		Preamble: []string{"Symmetric rig, OLIA: receiver acknowledgment policy"},
+		Columns: []Column{
+			{Name: "receiver"},
+			{Name: "mp_total", Unit: "Mb/s"}, {Name: "tcp_mean", Unit: "Mb/s"},
+		},
+	}
 	for i, delayed := range variants {
 		name := "per-segment ACKs"
 		if delayed {
 			name = "delayed ACKs (40ms)"
 		}
-		fmt.Fprintf(w, "%-22s | %-10.2f | %.2f\n", name, outs[i].mpMbps, outs[i].bgMeanMbps)
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(name), NumCell(outs[i].mpMbps), NumCell(outs[i].bgMeanMbps),
+		})
+	}
+	return r, nil
+}
+
+// textAblationDelack is the classic acknowledgment-policy table layout.
+func textAblationDelack(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-22s | %-10s | %s\n", "receiver", "mp total", "TCP mean")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-22s | %-10.2f | %.2f\n", c[0].Text, c[1].Value, c[2].Value)
 	}
 	return nil
 }

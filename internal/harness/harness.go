@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 	"sort"
 
@@ -83,7 +84,10 @@ func FullConfig() Config {
 	}
 }
 
-// Experiment regenerates one table or figure.
+// Experiment regenerates one table or figure. Every experiment is split
+// into collect and render: Collect runs the simulations (already parallel
+// via the worker pool) and returns the structured Result; rendering —
+// RenderText, RenderJSON, RenderCSV — consumes the Result alone.
 type Experiment struct {
 	// ID is the short handle used by the CLI and bench names ("fig1b").
 	ID string
@@ -91,15 +95,48 @@ type Experiment struct {
 	PaperRef string
 	// Title describes what the artifact shows.
 	Title string
-	// Run executes the experiment and writes its rows to w.
-	Run func(cfg Config, w io.Writer) error
+	// Collect executes the experiment's simulations and analytic
+	// evaluations and returns the structured result.
+	Collect func(cfg Config) (*Result, error)
+	// Text is the experiment family's bespoke table layout, reading only
+	// from the Result's cells; nil falls back to the generic layout.
+	Text func(r *Result, w io.Writer) error
 }
 
-var registry []*Experiment
+// CollectResult runs Collect and stamps the registry metadata onto the
+// Result.
+func (e *Experiment) CollectResult(cfg Config) (*Result, error) {
+	r, err := e.Collect(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.ID, r.PaperRef, r.Title = e.ID, e.PaperRef, e.Title
+	return r, nil
+}
 
-// register adds an experiment at package init time.
+// Run collects the experiment and renders its table to w — the classic
+// entry point, equivalent to CollectResult followed by RenderText.
+func (e *Experiment) Run(cfg Config, w io.Writer) error {
+	r, err := e.CollectResult(cfg)
+	if err != nil {
+		return err
+	}
+	return RenderText(r, w)
+}
+
+var (
+	registry []*Experiment
+	byID     = map[string]*Experiment{}
+)
+
+// register adds an experiment at package init time; duplicate IDs are a
+// programming error and panic immediately.
 func register(e *Experiment) {
+	if _, dup := byID[e.ID]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment ID %q", e.ID))
+	}
 	registry = append(registry, e)
+	byID[e.ID] = e
 }
 
 // Experiments lists the registry in registration (paper) order.
@@ -111,12 +148,7 @@ func Experiments() []*Experiment {
 
 // Get finds an experiment by ID, or nil.
 func Get(id string) *Experiment {
-	for _, e := range registry {
-		if e.ID == id {
-			return e
-		}
-	}
-	return nil
+	return byID[id]
 }
 
 // IDs lists the registered experiment IDs, sorted.

@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestExperimentMetadata(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range Experiments() {
-		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Collect == nil {
 			t.Errorf("experiment %+v incomplete", e)
 		}
 		if seen[e.ID] {
@@ -58,6 +58,18 @@ func TestExperimentMetadata(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a duplicate experiment ID did not panic")
+		}
+	}()
+	register(&Experiment{
+		ID: "fig1b", PaperRef: "test", Title: "duplicate probe",
+		Collect: func(cfg Config) (*Result, error) { return &Result{}, nil },
+	})
 }
 
 // The analytic experiments are cheap; run them at full fidelity and verify

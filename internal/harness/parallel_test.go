@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"io"
 	"runtime"
 	"strings"
 	"testing"
@@ -81,7 +80,7 @@ func TestRunAllByteIdentical(t *testing.T) {
 	var ref string
 	for vi, workers := range workerVariants {
 		var b strings.Builder
-		if err := RunAll(parallelConfig(workers), ids, &b); err != nil {
+		if err := RunAll(parallelConfig(workers), ids, FormatText, &b); err != nil {
 			t.Fatalf("RunAll (Workers=%d): %v", workers, err)
 		}
 		if vi == 0 {
@@ -117,26 +116,24 @@ func TestRunAllStreamsProgressively(t *testing.T) {
 	if Get("zz-stream-a") == nil {
 		register(&Experiment{
 			ID: "zz-stream-a", PaperRef: "test", Title: "streaming probe a",
-			Run: func(cfg Config, w io.Writer) error {
-				fmt.Fprintln(w, "a-output")
-				return nil
+			Collect: func(cfg Config) (*Result, error) {
+				return &Result{Preamble: []string{"a-output"}}, nil
 			},
 		})
 		register(&Experiment{
 			ID: "zz-stream-b", PaperRef: "test", Title: "streaming probe b",
-			Run: func(cfg Config, w io.Writer) error {
+			Collect: func(cfg Config) (*Result, error) {
 				select {
 				case <-streamTestGate:
 				case <-time.After(30 * time.Second):
-					return fmt.Errorf("zz-stream-a output never flushed while zz-stream-b ran")
+					return nil, fmt.Errorf("zz-stream-a output never flushed while zz-stream-b ran")
 				}
-				fmt.Fprintln(w, "b-output")
-				return nil
+				return &Result{Preamble: []string{"b-output"}}, nil
 			},
 		})
 	}
 	fw := &flushWatcher{signal: streamTestGate, want: "a-output"}
-	if err := RunAll(parallelConfig(4), []string{"zz-stream-a", "zz-stream-b"}, fw); err != nil {
+	if err := RunAll(parallelConfig(4), []string{"zz-stream-a", "zz-stream-b"}, FormatText, fw); err != nil {
 		t.Fatal(err)
 	}
 	got := fw.buf.String()
@@ -171,7 +168,7 @@ func (fw *flushWatcher) Write(p []byte) (int, error) {
 
 func TestRunAllUnknownID(t *testing.T) {
 	var b strings.Builder
-	err := RunAll(parallelConfig(1), []string{"fig1b", "nope"}, &b)
+	err := RunAll(parallelConfig(1), []string{"fig1b", "nope"}, FormatText, &b)
 	if err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("RunAll with unknown id: err = %v", err)
 	}

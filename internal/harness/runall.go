@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -9,21 +10,26 @@ import (
 )
 
 // RunAll regenerates the experiments with the given ids — the full registry
-// in paper order when ids is empty — writing each experiment's banner and
-// table to w in listing order.
+// in paper order when ids is empty — writing each experiment's rendered
+// result to w in listing order. Text output prints each experiment's banner
+// and table; JSON output is one array of Result objects; CSV output is one
+// blank-line-separated block per experiment.
 //
 // Experiments run concurrently (one orchestration goroutine each) and
 // their simulation jobs share one worker pool, so at most cfg.Workers
 // simulations execute at any moment no matter how the fan-out nests. Each
-// experiment writes into its own buffer, and buffers are flushed
-// progressively: experiment i's output appears as soon as experiments
-// 0..i have finished, so a long registry run streams tables as they
-// complete while the bytes remain identical to a sequential run.
+// experiment collects and renders into its own buffer, and buffers are
+// flushed progressively: experiment i's output appears as soon as
+// experiments 0..i have finished, so a long registry run streams results
+// as they complete while the bytes remain identical to a sequential run.
 //
 // On failure every experiment still runs to completion, the output up to
-// and including the first failing experiment (in listing order) is
-// written, and that experiment's error is returned.
-func RunAll(cfg Config, ids []string, w io.Writer) error {
+// the first failing experiment (in listing order) is written, and that
+// experiment's error is returned.
+func RunAll(cfg Config, ids []string, format Format, w io.Writer) error {
+	if _, err := ParseFormat(string(format)); err != nil {
+		return err
+	}
 	var exps []*Experiment
 	if len(ids) == 0 {
 		exps = Experiments()
@@ -47,20 +53,82 @@ func RunAll(cfg Config, ids []string, w io.Writer) error {
 		done[i] = make(chan struct{})
 		go func(i int) {
 			defer close(done[i])
-			fmt.Fprintf(&res[i].buf, "\n===== %s =====\n", exps[i].ID)
-			res[i].err = exps[i].Run(cfg, &res[i].buf)
+			r, err := exps[i].CollectResult(cfg)
+			if err != nil {
+				res[i].err = err
+				if format == FormatText {
+					// Match the classic stream: a failing experiment still
+					// contributes its banner before the error surfaces.
+					fmt.Fprintf(&res[i].buf, "\n===== %s =====\n", exps[i].ID)
+				}
+				return
+			}
+			switch format {
+			case FormatJSON:
+				b, err := json.MarshalIndent(r, "  ", "  ")
+				if err != nil {
+					res[i].err = err
+					return
+				}
+				res[i].buf.WriteString("  ")
+				res[i].buf.Write(b)
+			case FormatCSV:
+				res[i].err = RenderCSV(r, &res[i].buf)
+			default:
+				fmt.Fprintf(&res[i].buf, "\n===== %s =====\n", exps[i].ID)
+				res[i].err = RenderText(r, &res[i].buf)
+			}
 		}(i)
 	}
 	var firstErr error
+	flushed := 0
+	if format == FormatJSON {
+		if _, err := io.WriteString(w, "[\n"); err != nil {
+			firstErr = err
+		}
+	}
 	for i := range exps {
 		<-done[i]
 		if firstErr != nil {
 			continue // already failed: drain remaining experiments unwritten
 		}
+		if res[i].err != nil {
+			// Text keeps the classic contract of flushing the failing
+			// experiment's banner before erroring out.
+			if format == FormatText {
+				w.Write(res[i].buf.Bytes())
+			}
+			firstErr = fmt.Errorf("harness: %s: %w", exps[i].ID, res[i].err)
+			continue
+		}
+		var sep string
+		switch format {
+		case FormatJSON:
+			if flushed > 0 {
+				sep = ",\n"
+			}
+		case FormatCSV:
+			if flushed > 0 {
+				sep = "\n"
+			}
+		}
+		if sep != "" {
+			if _, err := io.WriteString(w, sep); err != nil {
+				firstErr = err
+				continue
+			}
+		}
 		if _, err := w.Write(res[i].buf.Bytes()); err != nil {
 			firstErr = err
-		} else if res[i].err != nil {
-			firstErr = fmt.Errorf("harness: %s: %w", exps[i].ID, res[i].err)
+			continue
+		}
+		flushed++
+	}
+	if format == FormatJSON {
+		// Close the array even on failure so the flushed prefix remains
+		// valid JSON (an array of the experiments that completed).
+		if _, err := io.WriteString(w, "\n]\n"); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

@@ -112,33 +112,64 @@ func collectScenarioA(cfg Config, algos []string) []aResult {
 	return out
 }
 
-// renderScenarioA formats collected results, one row per sweep cell, with
-// the analytic fixed point and the optimum-with-probing alongside.
-func renderScenarioA(res []aResult, withLoss bool, w io.Writer) error {
+// resultScenarioA structures collected results, one row per sweep cell,
+// with the analytic fixed point and the optimum-with-probing alongside.
+func resultScenarioA(res []aResult, withLoss bool) (*Result, error) {
+	r := &Result{Columns: []Column{
+		{Name: "c1_over_c2"}, {Name: "n1_over_n2"}, {Name: "algo"},
+		{Name: "t1", Unit: "norm"}, {Name: "t2", Unit: "norm"},
+		{Name: "analytic_t1", Unit: "norm"}, {Name: "analytic_t2", Unit: "norm"},
+		{Name: "optimum_t1", Unit: "norm"}, {Name: "optimum_t2", Unit: "norm"},
+	}}
+	if withLoss {
+		r.Columns = append(r.Columns,
+			Column{Name: "p1"}, Column{Name: "p2"},
+			Column{Name: "analytic_p1"}, Column{Name: "analytic_p2"})
+	}
+	for _, row := range res {
+		ana, err := fixedpoint.ScenarioALIA(float64(row.point.n1), 10, row.point.c1, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			return nil, err
+		}
+		opt := fixedpoint.ScenarioAOptimum(float64(row.point.n1), 10, row.point.c1, 1.0, fixedpoint.DefaultParams)
+		cells := []Cell{
+			NumCell(row.point.c1), NumCell(float64(row.point.n1) / 10), TextCell(row.point.algo),
+			SummaryCell(row.t1), SummaryCell(row.t2),
+			NumCell(ana.Type1Norm), NumCell(ana.Type2Norm),
+			NumCell(opt.Type1Norm), NumCell(opt.Type2Norm),
+		}
+		if withLoss {
+			cells = append(cells,
+				SummaryCell(row.p1), SummaryCell(row.p2), NumCell(ana.P1), NumCell(ana.P2))
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	return r, nil
+}
+
+// textScenarioA is the classic Figs. 1/9/10 table layout; the loss columns
+// print when the Result carries them.
+func textScenarioA(r *Result, w io.Writer) error {
+	withLoss := len(r.Columns) > 9
 	fmt.Fprintf(w, "%-6s %-5s %-6s | %-28s | %-18s | %s\n",
 		"C1/C2", "N1/N2", "algo", "measured t1 / t2 (norm)", "analytic t1 / t2", "optimum t1 / t2")
-	for _, r := range res {
-		ana, err := fixedpoint.ScenarioALIA(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
-		if err != nil {
-			return err
-		}
-		opt := fixedpoint.ScenarioAOptimum(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
+	for _, c := range r.Rows {
 		fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %6.3f±%.3f / %6.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
-			r.point.c1, float64(r.point.n1)/10, r.point.algo,
-			r.t1.Mean(), r.t1.CI95(), r.t2.Mean(), r.t2.CI95(),
-			ana.Type1Norm, ana.Type2Norm, opt.Type1Norm, opt.Type2Norm)
+			c[0].Value, c[1].Value, c[2].Text,
+			c[3].Value, c[3].CI95, c[4].Value, c[4].CI95,
+			c[5].Value, c[6].Value, c[7].Value, c[8].Value)
 		if withLoss {
 			fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p1=%.4f p2=%.4f)",
-				r.p1.Mean(), r.p1.CI95(), r.p2.Mean(), r.p2.CI95(), ana.P1, ana.P2)
+				c[9].Value, c[9].CI95, c[10].Value, c[10].CI95, c[11].Value, c[12].Value)
 		}
 		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-func scenarioAExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
-	return func(cfg Config, w io.Writer) error {
-		return renderScenarioA(collectScenarioA(cfg, algos), withLoss, w)
+func scenarioAExperiment(algos []string, withLoss bool) func(cfg Config) (*Result, error) {
+	return func(cfg Config) (*Result, error) {
+		return resultScenarioA(collectScenarioA(cfg, algos), withLoss)
 	}
 }
 
@@ -222,32 +253,60 @@ func collectScenarioC(cfg Config, algos []string) []cResult {
 	return out
 }
 
-// renderScenarioC formats collected Scenario C results.
-func renderScenarioC(res []cResult, withLoss bool, w io.Writer) error {
+// resultScenarioC structures collected Scenario C results.
+func resultScenarioC(res []cResult, withLoss bool) (*Result, error) {
+	r := &Result{Columns: []Column{
+		{Name: "c1_over_c2"}, {Name: "n1_over_n2"}, {Name: "algo"},
+		{Name: "multi", Unit: "norm"}, {Name: "single", Unit: "norm"},
+		{Name: "analytic_multi", Unit: "norm"}, {Name: "analytic_single", Unit: "norm"},
+		{Name: "optimum_multi", Unit: "norm"}, {Name: "optimum_single", Unit: "norm"},
+	}}
+	if withLoss {
+		r.Columns = append(r.Columns,
+			Column{Name: "p1"}, Column{Name: "p2"}, Column{Name: "analytic_p2"})
+	}
+	for _, row := range res {
+		ana, err := fixedpoint.ScenarioCLIA(float64(row.point.n1), 10, row.point.c1, 1.0, fixedpoint.DefaultParams)
+		if err != nil {
+			return nil, err
+		}
+		opt := fixedpoint.ScenarioCOptimum(float64(row.point.n1), 10, row.point.c1, 1.0, fixedpoint.DefaultParams)
+		cells := []Cell{
+			NumCell(row.point.c1), NumCell(float64(row.point.n1) / 10), TextCell(row.point.algo),
+			SummaryCell(row.multi), SummaryCell(row.single),
+			NumCell(ana.MultiNorm), NumCell(ana.SingleNorm),
+			NumCell(opt.MultiNorm), NumCell(opt.SingleNorm),
+		}
+		if withLoss {
+			cells = append(cells, SummaryCell(row.p1), SummaryCell(row.p2), NumCell(ana.P2))
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	return r, nil
+}
+
+// textScenarioC is the classic Figs. 5/11/12 table layout.
+func textScenarioC(r *Result, w io.Writer) error {
+	withLoss := len(r.Columns) > 9
 	fmt.Fprintf(w, "%-6s %-5s %-6s | %-30s | %-18s | %s\n",
 		"C1/C2", "N1/N2", "algo", "measured multi / single (norm)", "analytic (LIA)", "optimum multi / single")
-	for _, r := range res {
-		ana, err := fixedpoint.ScenarioCLIA(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
-		if err != nil {
-			return err
-		}
-		opt := fixedpoint.ScenarioCOptimum(float64(r.point.n1), 10, r.point.c1, 1.0, fixedpoint.DefaultParams)
+	for _, c := range r.Rows {
 		fmt.Fprintf(w, "%-6.2f %-5.1f %-6s | %7.3f±%.3f / %7.3f±%.3f | %8.3f / %8.3f | %6.3f / %6.3f",
-			r.point.c1, float64(r.point.n1)/10, r.point.algo,
-			r.multi.Mean(), r.multi.CI95(), r.single.Mean(), r.single.CI95(),
-			ana.MultiNorm, ana.SingleNorm, opt.MultiNorm, opt.SingleNorm)
+			c[0].Value, c[1].Value, c[2].Text,
+			c[3].Value, c[3].CI95, c[4].Value, c[4].CI95,
+			c[5].Value, c[6].Value, c[7].Value, c[8].Value)
 		if withLoss {
 			fmt.Fprintf(w, " | p1=%.4f±%.4f p2=%.4f±%.4f (analytic p2=%.4f)",
-				r.p1.Mean(), r.p1.CI95(), r.p2.Mean(), r.p2.CI95(), ana.P2)
+				c[9].Value, c[9].CI95, c[10].Value, c[10].CI95, c[11].Value)
 		}
 		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-func scenarioCExperiment(algos []string, withLoss bool) func(cfg Config, w io.Writer) error {
-	return func(cfg Config, w io.Writer) error {
-		return renderScenarioC(collectScenarioC(cfg, algos), withLoss, w)
+func scenarioCExperiment(algos []string, withLoss bool) func(cfg Config) (*Result, error) {
+	return func(cfg Config) (*Result, error) {
+		return resultScenarioC(collectScenarioC(cfg, algos), withLoss)
 	}
 }
 
@@ -315,36 +374,62 @@ func collectScenarioB(cfg Config, algo string) []bResult {
 	return out
 }
 
-// renderTableB prints a Table I / Table II style comparison from collected
+// resultTableB structures a Table I / Table II comparison from collected
 // results: Red single-path vs Red multipath, with the LIA fixed point.
-func renderTableB(algo string, res []bResult, w io.Writer) error {
-	fmt.Fprintf(w, "Scenario B, %s: CX=27, CT=36, 15+15 users (cut-set bound 63 Mb/s)\n", algo)
-	fmt.Fprintf(w, "%-12s | %-12s %-12s %-12s | %s\n",
-		"Red users", "Blue (Mb/s)", "Red (Mb/s)", "Agg (Mb/s)", "analytic agg (LIA fixed point)")
+func resultTableB(algo string, res []bResult) (*Result, error) {
+	r := &Result{
+		Preamble: []string{fmt.Sprintf("Scenario B, %s: CX=27, CT=36, 15+15 users (cut-set bound 63 Mb/s)", algo)},
+		Columns: []Column{
+			{Name: "red_users"},
+			{Name: "blue", Unit: "Mb/s"}, {Name: "red", Unit: "Mb/s"}, {Name: "agg", Unit: "Mb/s"},
+			{Name: "analytic_agg", Unit: "Mb/s"},
+		},
+	}
 	var aggVals [2]float64
-	for i, r := range res {
-		ana, err := fixedpoint.ScenarioBLIA(15, 27, 36, r.multipath, fixedpoint.DefaultParams)
+	for i, row := range res {
+		ana, err := fixedpoint.ScenarioBLIA(15, 27, 36, row.multipath, fixedpoint.DefaultParams)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mode := "Single-path"
-		if r.multipath {
+		if row.multipath {
 			mode = "Multipath"
 		}
-		fmt.Fprintf(w, "%-12s | %5.1f±%.1f    %5.1f±%.1f    %5.1f±%.1f   | %.1f\n",
-			mode, r.blue.Mean(), r.blue.CI95(), r.red.Mean(), r.red.CI95(),
-			r.agg.Mean(), r.agg.CI95(), ana.Aggregate)
-		aggVals[i] = r.agg.Mean()
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(mode),
+			SummaryCell(row.blue), SummaryCell(row.red), SummaryCell(row.agg),
+			NumCell(ana.Aggregate),
+		})
+		aggVals[i] = row.agg.Mean()
 	}
 	drop := (aggVals[0] - aggVals[1]) / aggVals[0] * 100
-	fmt.Fprintf(w, "aggregate change on upgrade: %+.1f%% (paper: −13%% for LIA, −3.5%% for OLIA)\n", -drop)
+	r.Footer = []string{fmt.Sprintf(
+		"aggregate change on upgrade: %+.1f%% (paper: −13%% for LIA, −3.5%% for OLIA)", -drop)}
+	return r, nil
+}
+
+// textTableB is the classic Table I / Table II layout.
+func textTableB(r *Result, w io.Writer) error {
+	for _, line := range r.Preamble {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "%-12s | %-12s %-12s %-12s | %s\n",
+		"Red users", "Blue (Mb/s)", "Red (Mb/s)", "Agg (Mb/s)", "analytic agg (LIA fixed point)")
+	for _, c := range r.Rows {
+		fmt.Fprintf(w, "%-12s | %5.1f±%.1f    %5.1f±%.1f    %5.1f±%.1f   | %.1f\n",
+			c[0].Text, c[1].Value, c[1].CI95, c[2].Value, c[2].CI95,
+			c[3].Value, c[3].CI95, c[4].Value)
+	}
+	for _, line := range r.Footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
 // tableBExperiment reproduces Table I / Table II for one algorithm.
-func tableBExperiment(algo string) func(cfg Config, w io.Writer) error {
-	return func(cfg Config, w io.Writer) error {
-		return renderTableB(algo, collectScenarioB(cfg, algo), w)
+func tableBExperiment(algo string) func(cfg Config) (*Result, error) {
+	return func(cfg Config) (*Result, error) {
+		return resultTableB(algo, collectScenarioB(cfg, algo))
 	}
 }
 
@@ -353,60 +438,70 @@ func init() {
 		ID:       "fig1b",
 		PaperRef: "Figure 1(b)",
 		Title:    "Scenario A: normalized throughput of type1/type2 users under LIA vs analytic fixed point and optimum with probing cost",
-		Run:      scenarioAExperiment([]string{"lia"}, false),
+		Collect:  scenarioAExperiment([]string{"lia"}, false),
+		Text:     textScenarioA,
 	})
 	register(&Experiment{
 		ID:       "fig1c",
 		PaperRef: "Figure 1(c)",
 		Title:    "Scenario A: loss probability p2 at the shared AP under LIA",
-		Run:      scenarioAExperiment([]string{"lia"}, true),
+		Collect:  scenarioAExperiment([]string{"lia"}, true),
+		Text:     textScenarioA,
 	})
 	register(&Experiment{
 		ID:       "table1",
 		PaperRef: "Table I",
 		Title:    "Scenario B measurements with LIA: upgrading Red users reduces everyone's throughput (problem P1)",
-		Run:      tableBExperiment("lia"),
+		Collect:  tableBExperiment("lia"),
+		Text:     textTableB,
 	})
 	register(&Experiment{
 		ID:       "fig5c",
 		PaperRef: "Figure 5(c)",
 		Title:    "Scenario C: normalized throughputs under LIA vs analysis (problem P2: aggressiveness toward TCP users)",
-		Run:      scenarioCExperiment([]string{"lia"}, false),
+		Collect:  scenarioCExperiment([]string{"lia"}, false),
+		Text:     textScenarioC,
 	})
 	register(&Experiment{
 		ID:       "fig5d",
 		PaperRef: "Figure 5(d)",
 		Title:    "Scenario C: loss probability p2 at AP2 under LIA",
-		Run:      scenarioCExperiment([]string{"lia"}, true),
+		Collect:  scenarioCExperiment([]string{"lia"}, true),
+		Text:     textScenarioC,
 	})
 	register(&Experiment{
 		ID:       "fig9",
 		PaperRef: "Figure 9",
 		Title:    "Scenario A: OLIA vs LIA normalized throughputs (OLIA approaches the optimum with probing cost)",
-		Run:      scenarioAExperiment([]string{"lia", "olia"}, false),
+		Collect:  scenarioAExperiment([]string{"lia", "olia"}, false),
+		Text:     textScenarioA,
 	})
 	register(&Experiment{
 		ID:       "fig10",
 		PaperRef: "Figure 10",
 		Title:    "Scenario A: loss probability p2, OLIA vs LIA (OLIA balances congestion)",
-		Run:      scenarioAExperiment([]string{"lia", "olia"}, true),
+		Collect:  scenarioAExperiment([]string{"lia", "olia"}, true),
+		Text:     textScenarioA,
 	})
 	register(&Experiment{
 		ID:       "table2",
 		PaperRef: "Table II",
 		Title:    "Scenario B measurements with OLIA: upgrade penalty shrinks to the probing cost",
-		Run:      tableBExperiment("olia"),
+		Collect:  tableBExperiment("olia"),
+		Text:     textTableB,
 	})
 	register(&Experiment{
 		ID:       "fig11",
 		PaperRef: "Figure 11",
 		Title:    "Scenario C: OLIA vs LIA normalized throughputs",
-		Run:      scenarioCExperiment([]string{"lia", "olia"}, false),
+		Collect:  scenarioCExperiment([]string{"lia", "olia"}, false),
+		Text:     textScenarioC,
 	})
 	register(&Experiment{
 		ID:       "fig12",
 		PaperRef: "Figure 12",
 		Title:    "Scenario C: loss probability p2, OLIA vs LIA",
-		Run:      scenarioCExperiment([]string{"lia", "olia"}, true),
+		Collect:  scenarioCExperiment([]string{"lia", "olia"}, true),
+		Text:     textScenarioC,
 	})
 }

@@ -59,47 +59,96 @@ func runTrace(cfg Config, algo string, nTCP1, nTCP2 int) traceResult {
 	return res
 }
 
-// renderTrace prints one recorded run: means, flappiness, and a decimated
-// time series (about 12 rows) for the figure shape.
-func renderTrace(r traceResult, w io.Writer) {
-	fmt.Fprintf(w, "%s: mean w1 = %.1f pkts, mean w2 = %.1f pkts", r.algo, r.w1, r.w2)
-	if r.hasAlpha {
-		fmt.Fprintf(w, ", mean α1 = %+.3f, mean α2 = %+.3f", r.a1, r.a2)
+// tracePoints converts a recorded series into Result samples.
+func tracePoints(s []trace.Point) []SeriesPoint {
+	out := make([]SeriesPoint, len(s))
+	for i, p := range s {
+		out[i] = SeriesPoint{T: p.T.Sec(), V: p.V}
 	}
-	fmt.Fprintf(w, ", flips(w1≶w2) = %d\n", r.flipsCount)
+	return out
+}
 
-	step := len(r.s1) / 12
-	if step == 0 {
-		step = 1
+// resultTrace structures the recorded runs: one row of means per
+// algorithm, plus the full sampled window series (named "<algo>/w1",
+// "<algo>/w2") for the figure shape. Algorithms without an α probe (LIA)
+// carry empty text cells in the α columns.
+func resultTrace(results []traceResult) *Result {
+	r := &Result{Columns: []Column{
+		{Name: "algo"},
+		{Name: "mean_w1", Unit: "pkts"}, {Name: "mean_w2", Unit: "pkts"},
+		{Name: "mean_alpha1"}, {Name: "mean_alpha2"},
+		{Name: "flips"},
+	}}
+	for _, t := range results {
+		a1, a2 := TextCell(""), TextCell("")
+		if t.hasAlpha {
+			a1, a2 = NumCell(t.a1), NumCell(t.a2)
+		}
+		r.Rows = append(r.Rows, []Cell{
+			TextCell(t.algo), NumCell(t.w1), NumCell(t.w2), a1, a2, IntCell(t.flipsCount),
+		})
+		r.Series = append(r.Series,
+			Series{Name: t.algo + "/w1", Points: tracePoints(t.s1)},
+			Series{Name: t.algo + "/w2", Points: tracePoints(t.s2)},
+		)
 	}
-	fmt.Fprintf(w, "  t(s):")
-	for i := 0; i < len(r.s1); i += step {
-		fmt.Fprintf(w, "%7.0f", r.s1[i].T.Sec())
+	return r
+}
+
+// seriesByName finds an attached series, or nil.
+func (r *Result) seriesByName(name string) []SeriesPoint {
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s.Points
+		}
 	}
-	fmt.Fprintf(w, "\n  w1:  ")
-	for i := 0; i < len(r.s1); i += step {
-		fmt.Fprintf(w, "%7.1f", r.s1[i].V)
+	return nil
+}
+
+// textTrace is the classic Figs. 7/8 layout: per algorithm a summary line
+// (means, flappiness) and a decimated time series (about 12 columns).
+func textTrace(r *Result, w io.Writer) error {
+	for _, c := range r.Rows {
+		algo := c[0].Text
+		fmt.Fprintf(w, "%s: mean w1 = %.1f pkts, mean w2 = %.1f pkts", algo, c[1].Value, c[2].Value)
+		if c[3].Kind == CellNumber {
+			fmt.Fprintf(w, ", mean α1 = %+.3f, mean α2 = %+.3f", c[3].Value, c[4].Value)
+		}
+		fmt.Fprintf(w, ", flips(w1≶w2) = %d\n", c[5].Int())
+
+		s1 := r.seriesByName(algo + "/w1")
+		s2 := r.seriesByName(algo + "/w2")
+		step := len(s1) / 12
+		if step == 0 {
+			step = 1
+		}
+		fmt.Fprintf(w, "  t(s):")
+		for i := 0; i < len(s1); i += step {
+			fmt.Fprintf(w, "%7.0f", s1[i].T)
+		}
+		fmt.Fprintf(w, "\n  w1:  ")
+		for i := 0; i < len(s1); i += step {
+			fmt.Fprintf(w, "%7.1f", s1[i].V)
+		}
+		fmt.Fprintf(w, "\n  w2:  ")
+		for i := 0; i < len(s2); i += step {
+			fmt.Fprintf(w, "%7.1f", s2[i].V)
+		}
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "\n  w2:  ")
-	for i := 0; i < len(r.s2); i += step {
-		fmt.Fprintf(w, "%7.1f", r.s2[i].V)
-	}
-	fmt.Fprintln(w)
+	return nil
 }
 
 // traceExperiment reproduces Figs. 7 and 8: the evolution of the two
 // subflow windows (and OLIA's α) for a two-path user whose links are shared
 // with nTCP1 and nTCP2 regular TCP flows.
-func traceExperiment(nTCP1, nTCP2 int) func(cfg Config, w io.Writer) error {
-	return func(cfg Config, w io.Writer) error {
+func traceExperiment(nTCP1, nTCP2 int) func(cfg Config) (*Result, error) {
+	return func(cfg Config) (*Result, error) {
 		algos := []string{"olia", "lia"}
 		results := perPoint(cfg, algos, func(algo string) traceResult {
 			return runTrace(cfg, algo, nTCP1, nTCP2)
 		})
-		for _, r := range results {
-			renderTrace(r, w)
-		}
-		return nil
+		return resultTrace(results), nil
 	}
 }
 
@@ -132,12 +181,14 @@ func init() {
 		ID:       "fig7",
 		PaperRef: "Figure 7",
 		Title:    "Symmetric two-path user (5 TCP flows on each link): OLIA uses both paths, no flappiness; α stays near zero",
-		Run:      traceExperiment(5, 5),
+		Collect:  traceExperiment(5, 5),
+		Text:     textTrace,
 	})
 	register(&Experiment{
 		ID:       "fig8",
 		PaperRef: "Figure 8",
 		Title:    "Asymmetric two-path user (5 vs 10 TCP flows): OLIA abandons the congested path (w2 ≈ 1); LIA keeps transmitting on it",
-		Run:      traceExperiment(5, 10),
+		Collect:  traceExperiment(5, 10),
+		Text:     textTrace,
 	})
 }

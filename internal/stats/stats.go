@@ -164,6 +164,17 @@ func Mbps(bytes int64, seconds float64) float64 {
 	return float64(bytes) * 8 / seconds / 1e6
 }
 
+// MSSBytes is the segment size the paper's rate conversions assume
+// (1500-byte packets, §III and Appendix B).
+const MSSBytes = 1500
+
+// PktsPerSecMbps converts a packet rate at MSS-sized segments to
+// megabits/second — the conversion between the analytic fixed points
+// (packets per second) and the reported throughputs.
+func PktsPerSecMbps(pktsPerSec float64) float64 {
+	return pktsPerSec * MSSBytes * 8 / 1e6
+}
+
 // JainIndex computes Jain's fairness index Σx² form: (Σx)²/(n·Σx²) — 1 for
 // perfectly equal allocations, 1/n in the most unfair case.
 func JainIndex(xs []float64) float64 {

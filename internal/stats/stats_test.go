@@ -161,6 +161,16 @@ func TestMbps(t *testing.T) {
 	}
 }
 
+func TestPktsPerSecMbps(t *testing.T) {
+	// 100 MSS-sized packets/s = 100 · 1500 · 8 bits/s = 1.2 Mb/s.
+	if got := PktsPerSecMbps(100); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("PktsPerSecMbps(100) = %v, want 1.2", got)
+	}
+	if PktsPerSecMbps(0) != 0 {
+		t.Fatal("zero rate")
+	}
+}
+
 func TestJainIndex(t *testing.T) {
 	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
 		t.Fatalf("equal allocation %v", got)
