@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race check bench clean
+.PHONY: build vet fmt-check test race check bench bench-tables clean
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,18 @@ race:
 
 check: build vet fmt-check race
 
-# Regenerate the paper's tables (quick scale) while timing each experiment.
+# Kernel micro-benchmarks (event queue, pipe transit, queue service) with
+# allocation stats, recorded machine-readably in BENCH_kernel.json.
+KERNEL_BENCH = ^Benchmark(EventChurn|PipeTransit|DropTailService|REDService|SimulateTwoPath)$$
+
 bench:
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem . | tee bench_kernel.txt
+	$(GO) run ./cmd/benchjson < bench_kernel.txt > BENCH_kernel.json
+	@echo wrote BENCH_kernel.json
+
+# Regenerate the paper's tables (quick scale) while timing each experiment.
+bench-tables:
 	$(GO) test -bench=. -benchtime 1x . | tee bench_output.txt
 
 clean:
-	rm -f mptcpsim olia-trace bench_output.txt coverage.*
+	rm -f mptcpsim olia-trace bench_output.txt bench_kernel.txt coverage.*

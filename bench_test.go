@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
 )
 
@@ -31,6 +32,7 @@ var printedOnce sync.Map
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		var w io.Writer = io.Discard
@@ -122,6 +124,7 @@ func registryBenchConfig(workers int) Config {
 // the harness determinism tests.
 func benchRegistry(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := registryBenchConfig(workers)
 	for i := 0; i < b.N; i++ {
 		if err := RunAll(registryBenchIDs, cfg, io.Discard); err != nil {
@@ -140,6 +143,7 @@ func BenchmarkRegistryParallelMax(b *testing.B) { benchRegistry(b, 0) }
 // BenchmarkSimulateTwoPath measures the end-to-end cost of the public
 // Simulate API on a 10-second two-path scenario.
 func BenchmarkSimulateTwoPath(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := Simulate(Scenario{
 			Algorithm:   "olia",
@@ -161,4 +165,78 @@ func BenchmarkAnalyzeTwoPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Kernel micro-benchmarks (internal/sim + internal/netem hot paths) ---
+//
+// These isolate the per-event and per-packet cost every simulation pays:
+// event scheduling churn, pipe transit, and queue service under both
+// disciplines. `make bench` runs them with -benchmem and records the
+// results in BENCH_kernel.json so allocs/op regressions are visible per
+// subsystem.
+
+// BenchmarkEventChurn measures a self-rescheduling timer chain: one event
+// scheduled, fired, and rescheduled per iteration — the pure kernel cost of
+// the event queue with no network model attached.
+func BenchmarkEventChurn(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(sim.Microsecond, tick)
+		}
+	}
+	s.After(sim.Microsecond, tick)
+	b.ResetTimer()
+	s.Run()
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// benchTransit drives b.N packets one at a time through the given entry
+// node to a terminal collector, draining the simulator each iteration. It
+// uses the production packet lifecycle: pool allocation at the source,
+// Free at the collector.
+func benchTransit(b *testing.B, s *sim.Sim, entry netem.Node, size int) {
+	b.Helper()
+	b.ReportAllocs()
+	pool := netem.PoolFor(s)
+	delivered := 0
+	c := &netem.Collector{OnRecv: func(*netem.Packet) { delivered++ }}
+	route := netem.NewRoute(entry, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := pool.NewData(0, int64(i)*int64(size), size, s.Now(), route)
+		pkt.SendOn()
+		s.Run()
+	}
+	b.StopTimer()
+	if delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}
+
+// BenchmarkPipeTransit measures one packet crossing a propagation-delay
+// pipe: the per-packet scheduling plus delivery cost.
+func BenchmarkPipeTransit(b *testing.B) {
+	s := sim.New(1)
+	benchTransit(b, s, netem.NewPipe(s, sim.Millisecond, "p"), netem.MSS)
+}
+
+// BenchmarkDropTailService measures one packet through a drop-tail queue:
+// arrival, service scheduling, and completion.
+func BenchmarkDropTailService(b *testing.B) {
+	s := sim.New(1)
+	benchTransit(b, s, netem.NewDropTail(s, 100e6, 100, "q"), netem.MSS)
+}
+
+// BenchmarkREDService is the same service path through a RED queue (EWMA
+// update and admission test included).
+func BenchmarkREDService(b *testing.B) {
+	s := sim.New(1)
+	benchTransit(b, s, netem.NewRED(s, 100e6, netem.PaperRED(100e6), "q"), netem.MSS)
 }

@@ -55,6 +55,51 @@ type probeState struct {
 	suspends   int
 }
 
+// probeTicker runs the periodic monitoring pass as a sim.Handler, so each
+// tick reschedules through the kernel's pooled fast path without allocating
+// a closure or event.
+type probeTicker struct {
+	c      *Conn
+	pc     ProbeControl
+	states []probeState
+}
+
+// RunEvent performs one monitoring pass and schedules the next.
+func (pt *probeTicker) RunEvent(now sim.Time) {
+	c, pc, states := pt.c, &pt.pc, pt.states
+	active := 0
+	for i := range c.subs {
+		if !states[i].suspended {
+			active++
+		}
+	}
+	for i, sf := range c.subs {
+		st := &states[i]
+		if st.suspended {
+			if now >= st.resumeAt {
+				st.suspended = false
+				st.atFloorFor = 0
+				sf.Src.Resume()
+				active++
+			}
+			continue
+		}
+		if sf.Src.CwndPkts() <= pc.FloorPkts {
+			st.atFloorFor += pc.Tick
+		} else {
+			st.atFloorFor = 0
+		}
+		if st.atFloorFor >= pc.SuspendAfter && active > 1 {
+			st.suspended = true
+			st.suspends++
+			st.resumeAt = now + pc.Reprobe
+			sf.Src.Pause()
+			active--
+		}
+	}
+	c.sim.ScheduleAfter(pc.Tick, pt)
+}
+
 // EnableProbeControl starts monitoring the connection's subflows. Call
 // after Start. At least one subflow is always kept active, so the
 // connection can never suspend itself entirely.
@@ -65,42 +110,7 @@ func (c *Conn) EnableProbeControl(pc ProbeControl) {
 	pc.fill()
 	states := make([]probeState, len(c.subs))
 	c.probeStates = states
-	var tick func()
-	tick = func() {
-		now := c.sim.Now()
-		active := 0
-		for i := range c.subs {
-			if !states[i].suspended {
-				active++
-			}
-		}
-		for i, sf := range c.subs {
-			st := &states[i]
-			if st.suspended {
-				if now >= st.resumeAt {
-					st.suspended = false
-					st.atFloorFor = 0
-					sf.Src.Resume()
-					active++
-				}
-				continue
-			}
-			if sf.Src.CwndPkts() <= pc.FloorPkts {
-				st.atFloorFor += pc.Tick
-			} else {
-				st.atFloorFor = 0
-			}
-			if st.atFloorFor >= pc.SuspendAfter && active > 1 {
-				st.suspended = true
-				st.suspends++
-				st.resumeAt = now + pc.Reprobe
-				sf.Src.Pause()
-				active--
-			}
-		}
-		c.sim.After(pc.Tick, tick)
-	}
-	c.sim.After(pc.Tick, tick)
+	c.sim.ScheduleAfter(pc.Tick, &probeTicker{c: c, pc: pc, states: states})
 }
 
 // SuspendCount reports how many times subflow i has been suspended by probe

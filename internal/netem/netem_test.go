@@ -135,8 +135,8 @@ func TestDropTailDropsWhenFull(t *testing.T) {
 	if st.DroppedPkts != 15 {
 		t.Fatalf("dropped %d, want 15", st.DroppedPkts)
 	}
-	if st.SentPkts != 5 || len(c.Pkts) != 5 {
-		t.Fatalf("sent %d delivered %d", st.SentPkts, len(c.Pkts))
+	if st.SentPkts != 5 || c.Count != 5 {
+		t.Fatalf("sent %d delivered %d", st.SentPkts, c.Count)
 	}
 	if got := st.LossProb(); math.Abs(got-0.75) > 1e-12 {
 		t.Fatalf("loss prob %v", got)
@@ -209,8 +209,8 @@ func TestREDNoDropsBelowMinTh(t *testing.T) {
 	if q.Stats().DroppedPkts != 0 {
 		t.Fatalf("dropped %d below minth", q.Stats().DroppedPkts)
 	}
-	if len(c.Pkts) != 20 {
-		t.Fatalf("delivered %d", len(c.Pkts))
+	if c.Count != 20 {
+		t.Fatalf("delivered %d", c.Count)
 	}
 }
 
@@ -375,8 +375,8 @@ func TestLinkRecvActsAsNode(t *testing.T) {
 	r := NewRoute(l.Q, l.P, c)
 	mkData(0, 100, r).SendOn()
 	s.Run()
-	if len(c.Pkts) != 1 {
-		t.Fatalf("delivered %d", len(c.Pkts))
+	if c.Count != 1 {
+		t.Fatalf("delivered %d", c.Count)
 	}
 }
 

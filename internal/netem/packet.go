@@ -62,8 +62,12 @@ func (r *Route) Len() int {
 func (r *Route) Hop(i int) Node { return r.hops[i] }
 
 // Packet is a simulated segment. Packets are passed by pointer along their
-// route; ownership transfers with each Recv call. A dropped packet is simply
-// abandoned to the garbage collector.
+// route; ownership transfers with each Recv call. Pool-managed packets
+// (PacketPool.NewData/NewAck) have an explicit lifecycle: the terminal owner
+// — the protocol endpoint that consumed it, the queue that dropped it, or a
+// non-retaining Collector — calls Free to recycle it. Packets built with the
+// plain DataPacket/AckPacket constructors are heap-allocated and Free is a
+// no-op, so tests can keep inspecting them after delivery.
 type Packet struct {
 	// Seq is the sequence number of the first payload byte (data packets),
 	// or the cumulative ACK point — the next byte expected — for ACKs.
@@ -87,6 +91,8 @@ type Packet struct {
 
 	route *Route
 	hop   int
+	pool  *PacketPool // nil for heap-allocated packets
+	freed bool
 }
 
 // Block is a half-open byte range [Start, End) used for SACK reporting.
@@ -105,14 +111,118 @@ func (p *Packet) Route() *Route { return p.route }
 
 // SendOn forwards the packet to the next hop of its route. It panics if the
 // route is exhausted: protocol endpoints must be the final hop and must not
-// forward further.
+// forward further. Forwarding a freed packet panics: that is a lifecycle
+// bug (use after Free).
 func (p *Packet) SendOn() {
+	if p.freed {
+		panic(fmt.Sprintf("netem: use after free: packet (seq %d, ack %v)", p.Seq, p.Ack))
+	}
 	if p.route == nil || p.hop >= len(p.route.hops) {
 		panic(fmt.Sprintf("netem: packet (seq %d, ack %v) ran off its route", p.Seq, p.Ack))
 	}
 	next := p.route.hops[p.hop]
 	p.hop++
 	next.Recv(p)
+}
+
+// Free returns a pool-managed packet to its simulation's free list. The
+// caller must be the packet's terminal owner and must not touch it again.
+// Freeing a heap-allocated packet (DataPacket/AckPacket) is a no-op;
+// double-freeing a pooled packet panics.
+func (p *Packet) Free() {
+	pl := p.pool
+	if pl == nil {
+		return
+	}
+	if p.freed {
+		panic(fmt.Sprintf("netem: double free of packet (seq %d, ack %v)", p.Seq, p.Ack))
+	}
+	p.freed = true
+	if pl.debug {
+		// Poison so a reader of a stale pointer trips loudly rather than
+		// seeing plausible data: the sentinel sequence number is
+		// recognizable in dumps and the nil route makes SendOn panic.
+		p.Seq = -0x7EADBEEF
+		p.route = nil
+		p.hop = 0
+	}
+	pl.free = append(pl.free, p)
+}
+
+// PacketPool is a per-simulation packet free list. All protocol endpoints
+// of one Sim share a pool (PoolFor), so in steady state every data segment
+// and ACK is recycled instead of allocated. The pool is single-threaded,
+// like the Sim that owns it.
+type PacketPool struct {
+	free  []*Packet
+	debug bool
+}
+
+// PoolFor returns s's packet pool, creating and attaching it on first use.
+// The pool is anchored on the Sim's Aux slot so every component of one
+// simulation shares one free list. netem owns the slot: if something else
+// occupied it, recycling and the double-free guards would silently vanish,
+// so a foreign value panics instead.
+func PoolFor(s *sim.Sim) *PacketPool {
+	switch v := s.Aux().(type) {
+	case *PacketPool:
+		return v
+	case nil:
+		p := &PacketPool{}
+		s.SetAux(p)
+		return p
+	default:
+		panic(fmt.Sprintf("netem: Sim.Aux holds foreign state (%T); the slot is reserved for the packet pool", v))
+	}
+}
+
+// SetDebug toggles the use-after-free guard: freed packets are poisoned so
+// stale readers fail loudly. Costs a little per Free; meant for tests.
+func (pl *PacketPool) SetDebug(on bool) { pl.debug = on }
+
+// FreeCount reports the current free-list size (diagnostics and tests).
+func (pl *PacketPool) FreeCount() int { return len(pl.free) }
+
+// get pops a recycled packet, fully reset, or allocates a fresh one. The
+// Sack capacity survives recycling so ACK reports reuse their backing
+// arrays.
+func (pl *PacketPool) get() *Packet {
+	n := len(pl.free)
+	if n == 0 {
+		return &Packet{pool: pl}
+	}
+	p := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	sack := p.Sack[:0]
+	*p = Packet{Sack: sack, pool: pl}
+	return p
+}
+
+// NewData builds a pool-managed data segment of size bytes for the given
+// flow, ready for transmission over route.
+func (pl *PacketPool) NewData(flowID int, seq int64, size int, now sim.Time, route *Route) *Packet {
+	p := pl.get()
+	p.Seq = seq
+	p.Size = size
+	p.FlowID = flowID
+	p.SentAt = now
+	p.SetRoute(route)
+	return p
+}
+
+// NewAck builds a pool-managed pure ACK carrying cumulative ack point
+// ackSeq and echoing the data packet's timestamp.
+func (pl *PacketPool) NewAck(flowID int, ackSeq int64, echo sim.Time, now sim.Time, route *Route) *Packet {
+	p := pl.get()
+	p.Seq = ackSeq
+	p.Size = AckSize
+	p.Ack = true
+	p.FlowID = flowID
+	p.SentAt = now
+	p.EchoTS = echo
+	p.SetRoute(route)
+	return p
 }
 
 // DataPacket builds a data segment of size bytes for the given flow.

@@ -6,10 +6,30 @@ import "mptcpsim/internal/sim"
 // it exactly Delay later, order-preserving, with no capacity limit. It is the
 // direct analogue of htsim's Pipe. Serialization (rate) is modeled by Queue,
 // so a physical link is a Queue followed by a Pipe.
+//
+// Because the delay is constant, FIFO admission order is also delivery-time
+// order, so the pipe keeps a single kernel timer plus a ring of pending
+// (deliverAt, seq, packet) entries instead of one event per packet in
+// flight. Each admission still reserves a kernel sequence number, so
+// deliveries keep the exact (time, seq) FIFO tie-break they would have had
+// with one event per packet — simulation results are bit-identical, at a
+// fraction of the allocation cost.
 type Pipe struct {
 	sim   *sim.Sim
 	delay sim.Time
 	name  string
+
+	ring []pipeEntry // power-of-two circular buffer
+	head int
+	n    int
+	tm   sim.Timer // single pending delivery event (the ring head's)
+}
+
+// pipeEntry is one in-flight packet with its precomputed delivery key.
+type pipeEntry struct {
+	at  sim.Time
+	seq uint64
+	pkt *Packet
 }
 
 // NewPipe returns a pipe with the given one-way propagation delay.
@@ -26,7 +46,67 @@ func (pp *Pipe) Delay() sim.Time { return pp.delay }
 // Name identifies the pipe in traces.
 func (pp *Pipe) Name() string { return pp.name }
 
-// Recv delays the packet and forwards it to the next hop.
+// InFlight reports the number of packets currently crossing the pipe.
+func (pp *Pipe) InFlight() int { return pp.n }
+
+// Recv admits the packet: it will be forwarded to the next hop exactly
+// delay later. No allocation in steady state.
 func (pp *Pipe) Recv(p *Packet) {
-	pp.sim.After(pp.delay, func() { p.SendOn() })
+	at := pp.sim.Now() + pp.delay
+	seq := pp.sim.ReserveSeq()
+	pp.push(pipeEntry{at: at, seq: seq, pkt: p})
+	if pp.n == 1 {
+		pp.arm(at, seq)
+	}
+}
+
+// arm (re)schedules the pipe's single timer for the ring head's key.
+func (pp *Pipe) arm(at sim.Time, seq uint64) {
+	if pp.tm.Valid() {
+		pp.sim.RescheduleSeq(pp.tm, at, seq)
+	} else {
+		pp.tm = pp.sim.ScheduleTimerSeq(at, seq, pp)
+	}
+}
+
+// RunEvent delivers exactly the ring head (one logical event per packet,
+// so Processed() counts match the one-event-per-packet design) and re-arms
+// for the next entry. The ring is updated before SendOn so reentrant
+// admissions see a consistent pipe.
+func (pp *Pipe) RunEvent(now sim.Time) {
+	e := pp.pop()
+	if pp.n > 0 {
+		h := &pp.ring[pp.head]
+		pp.arm(h.at, h.seq)
+	}
+	e.pkt.SendOn()
+}
+
+func (pp *Pipe) push(e pipeEntry) {
+	if pp.n == len(pp.ring) {
+		pp.grow()
+	}
+	pp.ring[(pp.head+pp.n)&(len(pp.ring)-1)] = e
+	pp.n++
+}
+
+func (pp *Pipe) pop() pipeEntry {
+	e := pp.ring[pp.head]
+	pp.ring[pp.head].pkt = nil
+	pp.head = (pp.head + 1) & (len(pp.ring) - 1)
+	pp.n--
+	return e
+}
+
+func (pp *Pipe) grow() {
+	size := 2 * len(pp.ring)
+	if size == 0 {
+		size = 8
+	}
+	next := make([]pipeEntry, size)
+	for i := 0; i < pp.n; i++ {
+		next[i] = pp.ring[(pp.head+i)&(len(pp.ring)-1)]
+	}
+	pp.ring = next
+	pp.head = 0
 }

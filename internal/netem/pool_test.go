@@ -1,0 +1,253 @@
+package netem
+
+import (
+	"testing"
+
+	"mptcpsim/internal/sim"
+)
+
+func TestPoolForIsPerSim(t *testing.T) {
+	s1, s2 := sim.New(1), sim.New(2)
+	p1 := PoolFor(s1)
+	if PoolFor(s1) != p1 {
+		t.Fatal("PoolFor not stable for one Sim")
+	}
+	if PoolFor(s2) == p1 {
+		t.Fatal("two Sims share a pool")
+	}
+}
+
+func TestPoolForPanicsOnForeignAux(t *testing.T) {
+	s := sim.New(1)
+	s.SetAux("someone else's state")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when Aux holds foreign state")
+		}
+	}()
+	PoolFor(s)
+}
+
+func TestPacketPoolRecycles(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	r := NewRoute(&Collector{})
+	p := pl.NewData(1, 3000, MSS, 5*sim.Millisecond, r)
+	if p.Seq != 3000 || p.Size != MSS || p.FlowID != 1 || p.SentAt != 5*sim.Millisecond || p.Ack {
+		t.Fatalf("data fields: %+v", p)
+	}
+	p.Retx = true
+	p.Free()
+	if pl.FreeCount() != 1 {
+		t.Fatalf("free count %d, want 1", pl.FreeCount())
+	}
+
+	// The recycled packet must come back fully reset.
+	a := pl.NewAck(2, 6000, sim.Millisecond, 2*sim.Millisecond, r)
+	if a != p {
+		t.Fatal("pool did not recycle the freed packet")
+	}
+	if a.Retx || !a.Ack || a.Seq != 6000 || a.Size != AckSize || a.FlowID != 2 {
+		t.Fatalf("recycled packet not reset: %+v", a)
+	}
+	if a.EchoTS != sim.Millisecond || a.SentAt != 2*sim.Millisecond {
+		t.Fatalf("ack timestamps: %+v", a)
+	}
+}
+
+func TestPacketSackCapacitySurvivesRecycle(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	p := pl.NewAck(1, 0, 0, 0, nil)
+	p.Sack = append(p.Sack, Block{0, 1500}, Block{3000, 4500})
+	cap0 := cap(p.Sack)
+	p.Free()
+	q := pl.NewAck(1, 0, 0, 0, nil)
+	if len(q.Sack) != 0 {
+		t.Fatalf("recycled Sack not emptied: %v", q.Sack)
+	}
+	if cap(q.Sack) != cap0 {
+		t.Fatalf("recycled Sack capacity %d, want %d", cap(q.Sack), cap0)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	p := pl.NewData(0, 0, MSS, 0, nil)
+	p.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	p.Free()
+}
+
+func TestFreeHeapPacketIsNoOp(t *testing.T) {
+	p := DataPacket(0, 0, MSS, 0, nil)
+	p.Free()
+	p.Free() // still a no-op: heap packets are owned by the GC
+	if p.Size != MSS {
+		t.Fatal("heap packet mutated by Free")
+	}
+}
+
+func TestUseAfterFreePanicsOnSendOn(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	r := NewRoute(&Collector{})
+	p := pl.NewData(0, 0, MSS, 0, r)
+	p.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic forwarding a freed packet")
+		}
+	}()
+	p.SendOn()
+}
+
+func TestDebugPoisonsFreedPackets(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	pl.SetDebug(true)
+	p := pl.NewData(0, 12345, MSS, 0, NewRoute(&Collector{}))
+	p.Free()
+	if p.Seq == 12345 || p.Route() != nil {
+		t.Fatalf("debug free did not poison: %+v", p)
+	}
+}
+
+// TestQueueDropFreesPacket: drop sites are packet owners — a pooled packet
+// dropped at a full queue must return to the pool.
+func TestQueueDropFreesPacket(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	q := NewDropTail(s, 10_000_000, 1, "q")
+	c := &Collector{}
+	r := NewRoute(q, c)
+	for i := 0; i < 3; i++ {
+		pl.NewData(0, int64(i)*MSS, MSS, s.Now(), r).SendOn()
+	}
+	s.Run()
+	// Only two distinct packets ever exist: the first dropped packet is
+	// recycled into the third NewData before being dropped again, and the
+	// enqueued one is freed by the collector after delivery.
+	if got := pl.FreeCount(); got != 2 {
+		t.Fatalf("pool holds %d packets, want 2 (drops recycled mid-loop)", got)
+	}
+	if q.Stats().DroppedPkts != 2 || c.Count != 1 {
+		t.Fatalf("dropped %d delivered %d", q.Stats().DroppedPkts, c.Count)
+	}
+}
+
+func TestCollectorRetainOptIn(t *testing.T) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	c := &Collector{Retain: true}
+	r := NewRoute(c)
+	for i := 0; i < 4; i++ {
+		pl.NewData(0, int64(i)*MSS, MSS, 0, r).SendOn()
+	}
+	if len(c.Pkts) != 4 || c.Count != 4 || c.Bytes != 4*MSS {
+		t.Fatalf("retained %d count %d bytes %d", len(c.Pkts), c.Count, c.Bytes)
+	}
+	if pl.FreeCount() != 0 {
+		t.Fatal("retained packets were freed")
+	}
+	for i, p := range c.Pkts {
+		if p.Seq != int64(i)*MSS {
+			t.Fatalf("retained packet %d has seq %d", i, p.Seq)
+		}
+	}
+}
+
+// TestPipeSingleTimer: a pipe with many packets in flight keeps exactly one
+// pending kernel event, and still delivers each packet at its exact time.
+func TestPipeSingleTimer(t *testing.T) {
+	s := sim.New(1)
+	var times []sim.Time
+	c := &Collector{OnRecv: func(*Packet) { times = append(times, s.Now()) }}
+	pipe := NewPipe(s, 10*sim.Millisecond, "p")
+	r := NewRoute(pipe, c)
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i)*sim.Millisecond, func() { mkData(int64(i), MSS, r).SendOn() })
+	}
+	s.RunUntil(12 * sim.Millisecond)
+	if pipe.InFlight() < 2 {
+		t.Fatalf("expected overlapping packets in flight, got %d", pipe.InFlight())
+	}
+	// One pipe timer + the remaining injection events; the pipe itself must
+	// contribute exactly one.
+	if got := s.Pending() - (n - 13); got != 1 {
+		t.Fatalf("pipe holds %d pending events, want 1", got)
+	}
+	s.Run()
+	if len(times) != n {
+		t.Fatalf("delivered %d, want %d", len(times), n)
+	}
+	for i, at := range times {
+		if want := sim.Time(i)*sim.Millisecond + 10*sim.Millisecond; at != want {
+			t.Fatalf("packet %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestPipeProcessedCountPerPacket: the single-timer pipe must still burn
+// exactly one kernel event per delivered packet, so Sim.Processed() counts
+// are unchanged from the one-event-per-packet design (pool bookkeeping must
+// not leak into diagnostics).
+func TestPipeProcessedCountPerPacket(t *testing.T) {
+	s := sim.New(1)
+	c := &Collector{}
+	pipe := NewPipe(s, 10*sim.Millisecond, "p")
+	r := NewRoute(pipe, c)
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i)*sim.Millisecond, func() { mkData(int64(i), MSS, r).SendOn() })
+	}
+	s.Run()
+	if c.Count != n {
+		t.Fatalf("delivered %d", c.Count)
+	}
+	// n injection events + n delivery events, nothing more or less.
+	if got := s.Processed(); got != 2*n {
+		t.Fatalf("Processed = %d, want %d", got, 2*n)
+	}
+}
+
+// TestPipeReentrantRoute: a route that traverses two pipes back to back
+// exercises re-arming while delivering.
+func TestPipeReentrantRoute(t *testing.T) {
+	s := sim.New(1)
+	var at sim.Time
+	c := &Collector{OnRecv: func(*Packet) { at = s.Now() }}
+	p1 := NewPipe(s, 3*sim.Millisecond, "p1")
+	p2 := NewPipe(s, 4*sim.Millisecond, "p2")
+	r := NewRoute(p1, p2, c)
+	mkData(0, MSS, r).SendOn()
+	s.Run()
+	if at != 7*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 7ms", at)
+	}
+}
+
+// BenchmarkPipePooled measures the full pooled lifecycle through a pipe:
+// alloc from pool, transit, free at the collector. Steady state must be
+// allocation-free.
+func BenchmarkPipePooled(b *testing.B) {
+	s := sim.New(1)
+	pl := PoolFor(s)
+	c := &Collector{}
+	pipe := NewPipe(s, sim.Millisecond, "p")
+	r := NewRoute(pipe, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.NewData(0, int64(i)*MSS, MSS, s.Now(), r).SendOn()
+		s.Run()
+	}
+}

@@ -50,16 +50,20 @@ type Queue interface {
 }
 
 // queueCore implements FIFO service at a fixed rate. Concrete queues embed
-// it and implement only the arrival decision.
+// it and implement only the arrival decision. Service completion runs
+// through a single reused kernel timer (queueCore implements sim.Handler),
+// so steady-state service allocates nothing.
 type queueCore struct {
 	sim     *sim.Sim
 	rateBps int64 // line rate, bits per second
 	name    string
 	buf     []*Packet // buf[0] is in service
 	stats   Counters
+	svc     sim.Timer // service-completion timer, re-armed per packet
 	// onEmpty, if set, runs when the buffer drains (RED idle tracking).
 	onEmpty func()
-	// onDrop, if set, observes dropped packets (tests, loss injection).
+	// onDrop, if set, observes dropped packets (tests, loss injection). The
+	// packet is freed when the observer returns; it must not be retained.
 	onDrop func(*Packet)
 }
 
@@ -93,6 +97,7 @@ func (q *queueCore) drop(p *Packet) {
 	if q.onDrop != nil {
 		q.onDrop(p)
 	}
+	p.Free()
 }
 
 // enqueue admits the packet and starts service if the line was idle.
@@ -104,9 +109,16 @@ func (q *queueCore) enqueue(p *Packet) {
 }
 
 func (q *queueCore) startService() {
-	p := q.buf[0]
-	q.sim.After(q.txTime(p.Size), func() { q.finishService() })
+	at := q.sim.Now() + q.txTime(q.buf[0].Size)
+	if q.svc.Valid() {
+		q.sim.Reschedule(q.svc, at)
+	} else {
+		q.svc = q.sim.ScheduleTimer(at, q)
+	}
 }
+
+// RunEvent completes the in-service packet (sim.Handler).
+func (q *queueCore) RunEvent(now sim.Time) { q.finishService() }
 
 func (q *queueCore) finishService() {
 	p := q.buf[0]

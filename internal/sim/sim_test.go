@@ -102,15 +102,15 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	// Double-cancel and cancel-nil must be no-ops.
+	// Double-cancel and cancelling the zero Timer must be no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Timer{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	s := New(1)
 	var got []int
-	var events []*Event
+	var events []Timer
 	for i := 0; i < 5; i++ {
 		i := i
 		events = append(events, s.At(Time(i+1)*Millisecond, func() { got = append(got, i) }))
@@ -142,8 +142,7 @@ func TestReschedulePending(t *testing.T) {
 func TestRescheduleAfterFire(t *testing.T) {
 	s := New(1)
 	count := 0
-	var e *Event
-	e = s.At(Millisecond, func() { count++ })
+	e := s.At(Millisecond, func() { count++ })
 	s.Run()
 	if count != 1 {
 		t.Fatalf("count = %d", count)
@@ -314,7 +313,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		}
 		s := New(3)
 		ran := make([]bool, len(delays))
-		events := make([]*Event, len(delays))
+		events := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			events[i] = s.At(Time(d)*Microsecond, func() { ran[i] = true })

@@ -96,8 +96,13 @@ type Stats struct {
 
 // Src is a TCP sender. It is a netem.Node: the reverse route delivers ACKs
 // to it. Create with NewSrc, connect with a Sink, then Start.
+//
+// Hot-path scheduling is closure-free: Src implements sim.Handler for its
+// RTO timer, and small embedded handler structs cover flow start and the
+// stall callback, so a sender schedules without allocating.
 type Src struct {
 	sim  *sim.Sim
+	pool *netem.PacketPool
 	cfg  Config
 	id   int
 	name string
@@ -120,7 +125,9 @@ type Src struct {
 	rttSeen      bool
 	rtoBackoff   int
 
-	rtoEvent *sim.Event
+	rtoTimer sim.Timer
+	startH   startHandler
+	stallH   stallHandler
 
 	started  bool
 	done     bool
@@ -150,17 +157,39 @@ type Src struct {
 	stalled   bool
 }
 
+// startHandler and stallHandler give Src extra sim.Handler identities (a
+// type can implement RunEvent only once); they are embedded by value so
+// scheduling &t.startH allocates nothing.
+type startHandler struct{ t *Src }
+
+func (h *startHandler) RunEvent(now sim.Time) {
+	h.t.started = true
+	h.t.sendMore()
+}
+
+type stallHandler struct{ t *Src }
+
+func (h *stallHandler) RunEvent(now sim.Time) {
+	t := h.t
+	if t.stalled && t.OnStalled != nil && !t.done {
+		t.OnStalled(t)
+	}
+}
+
 // NewSrc builds a sender with the given configuration.
 func NewSrc(s *sim.Sim, id int, name string, cfg Config) *Src {
 	cfg.fill()
 	src := &Src{
 		sim:      s,
+		pool:     netem.PoolFor(s),
 		cfg:      cfg,
 		id:       id,
 		name:     name,
 		cwnd:     cfg.InitCwndPkts * float64(cfg.MSS),
 		ssthresh: cfg.SsthreshPkts * float64(cfg.MSS),
 	}
+	src.startH.t = src
+	src.stallH.t = src
 	return src
 }
 
@@ -223,10 +252,7 @@ func (t *Src) Start(at sim.Time) {
 		panic(fmt.Sprintf("tcp: %s started without a route", t.name))
 	}
 	t.startAt = at
-	t.sim.At(at, func() {
-		t.started = true
-		t.sendMore()
-	})
+	t.sim.Schedule(at, &t.startH)
 }
 
 // flight is the number of unacknowledged bytes in the network.
@@ -294,16 +320,13 @@ func (t *Src) segSizeAt(seq int64) int {
 }
 
 // requestData asks the stream layer for more bytes, at most once per stall.
+// The request is delivered through a zero-delay event to avoid reentrancy.
 func (t *Src) requestData() {
 	if t.OnStalled == nil || t.stalled {
 		return
 	}
 	t.stalled = true
-	t.sim.After(0, func() {
-		if t.stalled && t.OnStalled != nil && !t.done {
-			t.OnStalled(t)
-		}
-	})
+	t.sim.ScheduleAfter(0, &t.stallH)
 }
 
 // ExtendFlow assigns n more bytes to a pull-driven source (see OnStalled)
@@ -337,9 +360,11 @@ func (t *Src) SetFlowBytes(n int64) {
 	t.cfg.FlowBytes = n
 }
 
-// transmit sends one segment.
+// transmit sends one segment, allocated from the simulation's packet pool;
+// ownership passes to the route (the sink consumes and frees it, or a drop
+// site does).
 func (t *Src) transmit(seq int64, size int, isRetx bool) {
-	p := netem.DataPacket(t.id, seq, size, t.sim.Now(), t.fwd)
+	p := t.pool.NewData(t.id, seq, size, t.sim.Now(), t.fwd)
 	p.Retx = isRetx
 	t.stats.SentPkts++
 	if isRetx {
@@ -348,19 +373,20 @@ func (t *Src) transmit(seq int64, size int, isRetx bool) {
 	p.SendOn()
 }
 
+// RunEvent fires the retransmission timeout (sim.Handler).
+func (t *Src) RunEvent(now sim.Time) { t.onRTO() }
+
 // armRTO (re)schedules the retransmission timer if data is outstanding.
 func (t *Src) armRTO() {
 	if t.flight() <= 0 || t.done {
-		if t.rtoEvent != nil {
-			t.sim.Cancel(t.rtoEvent)
-		}
+		t.sim.Cancel(t.rtoTimer)
 		return
 	}
 	deadline := t.sim.Now() + t.rto()
-	if t.rtoEvent == nil {
-		t.rtoEvent = t.sim.At(deadline, t.onRTO)
+	if t.rtoTimer.Valid() {
+		t.sim.Reschedule(t.rtoTimer, deadline)
 	} else {
-		t.sim.Reschedule(t.rtoEvent, deadline)
+		t.rtoTimer = t.sim.ScheduleTimer(deadline, t)
 	}
 }
 
@@ -414,12 +440,13 @@ func (t *Src) onRTO() {
 }
 
 // Recv delivers an ACK to the sender (Src is the last hop of the reverse
-// route).
+// route). The sender is the ACK's terminal owner and frees it on return.
 func (t *Src) Recv(p *netem.Packet) {
 	if !p.Ack {
 		panic(fmt.Sprintf("tcp: %s received non-ACK", t.name))
 	}
 	if t.done {
+		p.Free()
 		return
 	}
 	t.mergeSack(p.Sack)
@@ -432,6 +459,7 @@ func (t *Src) Recv(p *netem.Packet) {
 	default:
 		// Stale ACK: ignore.
 	}
+	p.Free()
 }
 
 // mergeSack folds the receiver's SACK report into the scoreboard, keeping it
@@ -673,13 +701,14 @@ func (t *Src) rttSample(m float64) {
 	t.srtt = 0.875*t.srtt + 0.125*m
 }
 
-// finish marks a finite flow complete.
+// finish marks a finite flow complete. The RTO timer is released back to
+// the kernel's event pool so high-churn short-flow workloads recycle
+// timers instead of leaking one per flow.
 func (t *Src) finish() {
 	t.done = true
 	t.doneAt = t.sim.Now()
-	if t.rtoEvent != nil {
-		t.sim.Cancel(t.rtoEvent)
-	}
+	t.sim.Free(t.rtoTimer)
+	t.rtoTimer = sim.Timer{}
 	if t.OnComplete != nil {
 		t.OnComplete(t)
 	}
@@ -689,8 +718,9 @@ func (t *Src) finish() {
 // from possibly out-of-order segments and acknowledges every arrival, like
 // htsim's TcpSink.
 type Sink struct {
-	sim *sim.Sim
-	rev *netem.Route // reverse route, ending at the Src
+	sim  *sim.Sim
+	pool *netem.PacketPool
+	rev  *netem.Route // reverse route, ending at the Src
 
 	cumAck int64 // next expected byte
 	ooo    []seg // out-of-order segments, sorted by seq
@@ -706,7 +736,7 @@ type Sink struct {
 	delAck   sim.Time
 	unacked  int
 	lastEcho sim.Time
-	delAckEv *sim.Event
+	delAckTm sim.Timer
 	flowID   int
 }
 
@@ -716,7 +746,7 @@ type seg struct {
 }
 
 // NewSink builds a receiver.
-func NewSink(s *sim.Sim) *Sink { return &Sink{sim: s} }
+func NewSink(s *sim.Sim) *Sink { return &Sink{sim: s, pool: netem.PoolFor(s)} }
 
 // SetDelayedAck enables RFC 1122 delayed acknowledgments with the given
 // maximum delay (Linux uses up to 40 ms). Zero disables (the default, which
@@ -737,7 +767,8 @@ func (k *Sink) CumAck() int64 { return k.cumAck }
 // GoodputBytes reports bytes delivered in order.
 func (k *Sink) GoodputBytes() int64 { return k.bytes }
 
-// Recv ingests a data segment and emits a cumulative ACK.
+// Recv ingests a data segment and emits a cumulative ACK. The sink is the
+// segment's terminal owner and frees it on return.
 func (k *Sink) Recv(p *netem.Packet) {
 	if p.Ack {
 		panic("tcp: sink received an ACK")
@@ -766,33 +797,35 @@ func (k *Sink) Recv(p *netem.Packet) {
 		// fills) is acknowledged immediately below.
 		k.unacked++
 		if k.unacked == 1 {
-			if k.delAckEv == nil {
-				k.delAckEv = k.sim.At(k.sim.Now()+k.delAck, k.fireDelAck)
+			if k.delAckTm.Valid() {
+				k.sim.Reschedule(k.delAckTm, k.sim.Now()+k.delAck)
 			} else {
-				k.sim.Reschedule(k.delAckEv, k.sim.Now()+k.delAck)
+				k.delAckTm = k.sim.ScheduleTimer(k.sim.Now()+k.delAck, k)
 			}
+			p.Free()
 			return
 		}
 	}
 	k.sendAck(p.SentAt, p.Retx)
+	p.Free()
 }
 
-// fireDelAck emits the held-back acknowledgment when the timer expires.
-func (k *Sink) fireDelAck() {
+// RunEvent emits the held-back acknowledgment when the delayed-ACK timer
+// expires (sim.Handler).
+func (k *Sink) RunEvent(now sim.Time) {
 	if k.unacked > 0 {
 		k.sendAck(k.lastEcho, false)
 	}
 }
 
-// sendAck emits a cumulative ACK with the current SACK report.
+// sendAck emits a cumulative ACK with the current SACK report. The ACK is
+// pool-allocated and its recycled Sack capacity is reused for the report.
 func (k *Sink) sendAck(echo sim.Time, retx bool) {
 	k.unacked = 0
-	if k.delAckEv != nil {
-		k.sim.Cancel(k.delAckEv)
-	}
-	ack := netem.AckPacket(k.flowID, k.cumAck, echo, k.sim.Now(), k.rev)
+	k.sim.Cancel(k.delAckTm)
+	ack := k.pool.NewAck(k.flowID, k.cumAck, echo, k.sim.Now(), k.rev)
 	ack.Retx = retx
-	ack.Sack = k.sackBlocks()
+	ack.Sack = k.appendSackBlocks(ack.Sack)
 	ack.SendOn()
 }
 
@@ -801,12 +834,12 @@ func (k *Sink) sendAck(echo sim.Time, retx bool) {
 // ascending order.
 const maxSackBlocks = 8
 
-// sackBlocks merges buffered out-of-order segments into disjoint ranges.
-func (k *Sink) sackBlocks() []netem.Block {
+// appendSackBlocks merges buffered out-of-order segments into disjoint
+// ranges appended to dst (reusing its capacity; dst must be empty).
+func (k *Sink) appendSackBlocks(dst []netem.Block) []netem.Block {
 	if len(k.ooo) == 0 {
-		return nil
+		return dst
 	}
-	blocks := make([]netem.Block, 0, min(len(k.ooo), maxSackBlocks))
 	cur := netem.Block{Start: k.ooo[0].seq, End: k.ooo[0].seq + k.ooo[0].size}
 	for _, s := range k.ooo[1:] {
 		if s.seq <= cur.End {
@@ -815,13 +848,13 @@ func (k *Sink) sackBlocks() []netem.Block {
 			}
 			continue
 		}
-		blocks = append(blocks, cur)
-		if len(blocks) == maxSackBlocks {
-			return blocks
+		dst = append(dst, cur)
+		if len(dst) == maxSackBlocks {
+			return dst
 		}
 		cur = netem.Block{Start: s.seq, End: s.seq + s.size}
 	}
-	return append(blocks, cur)
+	return append(dst, cur)
 }
 
 // insertOOO records an out-of-order segment (idempotent).

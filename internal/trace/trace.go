@@ -43,17 +43,18 @@ func NewRecorder(s *sim.Sim, period, stop sim.Time, probes ...Probe) *Recorder {
 
 // Start schedules sampling beginning at the given time.
 func (r *Recorder) Start(at sim.Time) {
-	var tick func()
-	tick = func() {
-		now := r.sim.Now()
-		for i, p := range r.probes {
-			r.data[i] = append(r.data[i], Point{now, p.Fn()})
-		}
-		if now+r.period <= r.stop {
-			r.sim.After(r.period, tick)
-		}
+	r.sim.Schedule(at, r)
+}
+
+// RunEvent takes one sample of every probe and schedules the next
+// (sim.Handler, so periodic sampling does not allocate events).
+func (r *Recorder) RunEvent(now sim.Time) {
+	for i, p := range r.probes {
+		r.data[i] = append(r.data[i], Point{now, p.Fn()})
 	}
-	r.sim.At(at, tick)
+	if now+r.period <= r.stop {
+		r.sim.ScheduleAfter(r.period, r)
+	}
 }
 
 // Series returns the samples of probe i.

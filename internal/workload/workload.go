@@ -91,8 +91,12 @@ func (g *ShortFlows) Started() int { return g.started }
 
 // Start schedules the arrival process beginning at the given time.
 func (g *ShortFlows) Start(at sim.Time) {
-	g.s.At(at, g.spawn)
+	g.s.Schedule(at, g)
 }
+
+// RunEvent launches the next flow arrival (sim.Handler): the generator
+// reschedules itself through the kernel's pooled fast path.
+func (g *ShortFlows) RunEvent(now sim.Time) { g.spawn() }
 
 // expGap draws an exponential inter-arrival time with mean meanGap.
 func (g *ShortFlows) expGap() sim.Time {
@@ -119,6 +123,6 @@ func (g *ShortFlows) spawn() {
 	}
 	src.Start(g.s.Now())
 	if next := g.s.Now() + g.expGap(); next <= g.stopAt {
-		g.s.At(next, g.spawn)
+		g.s.Schedule(next, g)
 	}
 }
