@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race check bench bench-tables clean
+.PHONY: build vet fmt-check test race check conform conform-smoke bench bench-tables clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ race:
 	$(GO) test -race ./...
 
 check: build vet fmt-check race
+
+# Scenario fuzzer + cross-model conformance suite: 200 generated scenarios
+# under the full invariant set, then packet-vs-fluid/fixed-point goodput
+# agreement on 3- and 4-path topologies. Exits non-zero on any failure.
+conform:
+	$(GO) run ./cmd/mptcpsim conform
+
+conform-smoke:
+	$(GO) run ./cmd/mptcpsim conform -smoke
 
 # Kernel micro-benchmarks (event queue, pipe transit, queue service) with
 # allocation stats, recorded machine-readably in BENCH_kernel.json.

@@ -28,6 +28,7 @@ import (
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/harness"
 	"mptcpsim/internal/netem"
+	"mptcpsim/internal/scenario"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/stats"
 	"mptcpsim/internal/topo"
@@ -131,6 +132,60 @@ func RunAll(ids []string, cfg Config, w io.Writer) error {
 // in listing order as they complete, byte-identical at any worker count.
 func RunAllFormat(ids []string, cfg Config, format Format, w io.Writer) error {
 	return harness.RunAll(cfg, ids, format, w)
+}
+
+// ScenarioSpec declaratively describes an arbitrary N-path topology —
+// links (rate/delay/loss/queue discipline), paths over them, and flows
+// (algorithm, path set, start/stop times, workload) — compiled into a
+// runnable simulation by RunScenario. See internal/scenario.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioLink, ScenarioPath and ScenarioFlow are the building blocks of a
+// ScenarioSpec.
+type (
+	ScenarioLink = scenario.LinkSpec
+	ScenarioPath = scenario.PathSpec
+	ScenarioFlow = scenario.FlowSpec
+)
+
+// ScenarioReport is the outcome of a RunScenario call: per-flow and
+// per-path goodput, per-queue counters, and every invariant violation
+// detected (empty on a healthy run).
+type ScenarioReport = scenario.RunReport
+
+// RunScenario validates, compiles and runs a declarative scenario,
+// measuring goodput over [Warmup, Warmup+Duration] and checking the
+// packet-conservation, capacity, monotonicity and queue-bound invariants.
+func RunScenario(sp ScenarioSpec) (*ScenarioReport, error) { return scenario.Run(&sp) }
+
+// FuzzOptions and FuzzReport scale and summarize a scenario-fuzzing
+// campaign (FuzzScenarios).
+type (
+	FuzzOptions = scenario.FuzzOptions
+	FuzzReport  = scenario.FuzzReport
+)
+
+// FuzzScenarios generates N seeded random scenarios and runs each twice:
+// once under the full invariant suite and once more to verify the run is
+// byte-identical. The campaign is deterministic per seed; any failure
+// replays from its index alone.
+func FuzzScenarios(opts FuzzOptions) (*FuzzReport, error) { return scenario.Fuzz(opts) }
+
+// ConformanceOptions and ConformanceReport scale and summarize the
+// cross-model conformance suite (RunConformance).
+type (
+	ConformanceOptions = scenario.ConformanceOptions
+	ConformanceReport  = scenario.ConformanceReport
+)
+
+// RunConformance cross-checks the packet-level simulator against the
+// paper's fluid model and fixed points: on 3- and 4-path topologies, the
+// steady-state per-path goodput shares of OLIA, LIA and uncoupled
+// multipath flows must match the fluid equilibrium within
+// scenario.ShareTolerance, and a scenario-A run must match the Appendix-A
+// LIA fixed point.
+func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
+	return scenario.RunConformance(opts)
 }
 
 // algorithmNames is the sorted controller list, computed once at init.
@@ -238,6 +293,14 @@ func Simulate(sc Scenario) (Report, error) {
 	if !ok {
 		return Report{}, fmt.Errorf("mptcpsim: unknown algorithm %q (have %v)", algo, Algorithms())
 	}
+	for i, p := range sc.Paths {
+		if p.RateMbps <= 0 {
+			return Report{}, fmt.Errorf("mptcpsim: path %d rate must be positive, got %g Mb/s", i, p.RateMbps)
+		}
+		if p.BackgroundTCP < 0 {
+			return Report{}, fmt.Errorf("mptcpsim: path %d has negative background flow count %d", i, p.BackgroundTCP)
+		}
+	}
 	dur := sc.DurationSec
 	if dur == 0 {
 		dur = 30
@@ -246,6 +309,9 @@ func Simulate(sc Scenario) (Report, error) {
 		return Report{}, fmt.Errorf("mptcpsim: negative duration")
 	}
 	seed := sc.Seed
+	if seed < 0 {
+		return Report{}, fmt.Errorf("mptcpsim: negative seed %d", seed)
+	}
 	if seed == 0 {
 		seed = 1
 	}

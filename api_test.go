@@ -177,14 +177,55 @@ func TestSimulateTwoPathOLIA(t *testing.T) {
 }
 
 func TestSimulateDefaultsAndErrors(t *testing.T) {
-	if _, err := Simulate(Scenario{}); err == nil {
-		t.Fatal("no paths should error")
+	ok := []Path{{RateMbps: 1}}
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"no paths", Scenario{}},
+		{"bad algorithm", Scenario{Algorithm: "bogus", Paths: ok}},
+		{"negative duration", Scenario{Paths: ok, DurationSec: -1}},
+		{"negative seed", Scenario{Paths: ok, Seed: -5}},
+		{"zero-rate path", Scenario{Paths: []Path{{RateMbps: 0}}}},
+		{"negative-rate path", Scenario{Paths: []Path{{RateMbps: -2}}}},
+		{"negative background count", Scenario{Paths: []Path{{RateMbps: 1, BackgroundTCP: -1}}}},
 	}
-	if _, err := Simulate(Scenario{Algorithm: "bogus", Paths: []Path{{RateMbps: 1}}}); err == nil {
-		t.Fatal("bad algorithm should error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Simulate(tc.sc); err == nil {
+				t.Fatalf("Simulate(%+v) accepted invalid input", tc.sc)
+			}
+		})
 	}
-	if _, err := Simulate(Scenario{Paths: []Path{{RateMbps: 1}}, DurationSec: -1}); err == nil {
-		t.Fatal("negative duration should error")
+}
+
+// TestScenarioFacade smokes the declarative scenario entry points through
+// the public API.
+func TestScenarioFacade(t *testing.T) {
+	rep, err := RunScenario(ScenarioSpec{
+		Name: "facade", Seed: 3, WarmupSec: 0.5, DurationSec: 1,
+		Links: []ScenarioLink{{RateMbps: 2}},
+		Paths: []ScenarioPath{{Links: []int{0}, DelayMs: 20}},
+		Flows: []ScenarioFlow{{Algorithm: "olia", Paths: []int{0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Flows[0].GoodputMbps <= 0 {
+		t.Fatalf("flow idle: %+v", rep.Flows[0])
+	}
+	if _, err := RunScenario(ScenarioSpec{DurationSec: 1}); err == nil {
+		t.Fatal("empty spec must error")
+	}
+	fz, err := FuzzScenarios(FuzzOptions{N: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fz.Failed() {
+		t.Fatalf("fuzz failures: %+v", fz.Failures)
 	}
 }
 

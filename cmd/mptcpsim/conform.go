@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mptcpsim"
+)
+
+// conformMain implements `mptcpsim conform`: the scenario fuzzer plus the
+// cross-model conformance suite, the CLI face of internal/scenario. Exits
+// 1 when any invariant or conformance case fails — the regression gate CI
+// runs with -smoke.
+func conformMain(args []string) {
+	fs := flag.NewFlagSet("conform", flag.ExitOnError)
+	var (
+		n        = fs.Int("n", 200, "fuzzer scenarios to generate and run")
+		seed     = fs.Int64("seed", 1, "fuzzer campaign seed")
+		duration = fs.Float64("duration", 30, "conformance measurement window per run, seconds")
+		seeds    = fs.Int("seeds", 3, "conformance packet runs averaged per case")
+		jobs     = fs.Int("j", 0, "parallel simulation workers (0 = all CPUs)")
+		smoke    = fs.Bool("smoke", false, "CI scale: 40 fuzz scenarios, 20 s conformance windows")
+		jsonOut  = fs.Bool("json", false, "emit the reports as one JSON object")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mptcpsim conform [-n N] [-seed S] [-duration sec] [-seeds K] [-j W] [-smoke] [-json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *smoke {
+		*n, *duration = 40, 20
+	}
+
+	t0 := time.Now()
+	fuzz, err := mptcpsim.FuzzScenarios(mptcpsim.FuzzOptions{N: *n, Seed: *seed, Workers: *jobs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: fuzz: %v\n", err)
+		os.Exit(1)
+	}
+	conf, err := mptcpsim.RunConformance(mptcpsim.ConformanceOptions{
+		DurationSec: *duration, Seeds: *seeds, Workers: *jobs,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mptcpsim: conformance: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Fuzz        *mptcpsim.FuzzReport        `json:"fuzz"`
+			Conformance *mptcpsim.ConformanceReport `json:"conformance"`
+		}{fuzz, conf}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		renderConform(fuzz, conf)
+	}
+	fmt.Fprintf(os.Stderr, "(conform total %v)\n", time.Since(t0).Round(time.Millisecond))
+	if fuzz.Failed() || conf.Failed() {
+		os.Exit(1)
+	}
+}
+
+// renderConform prints the human-readable campaign summary.
+func renderConform(fuzz *mptcpsim.FuzzReport, conf *mptcpsim.ConformanceReport) {
+	verdict := "all invariants held"
+	if fuzz.Failed() {
+		verdict = fmt.Sprintf("%d scenarios FAILED", len(fuzz.Failures))
+	}
+	fmt.Printf("fuzz: %d scenarios (seed %d), %d flows over %d links, %d kernel events — %s\n",
+		fuzz.N, fuzz.Seed, fuzz.Flows, fuzz.Links, fuzz.Events, verdict)
+	for _, f := range fuzz.Failures {
+		fmt.Printf("  scenario %d (%s):\n", f.Index, f.Name)
+		for _, v := range f.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+
+	fmt.Printf("conformance: packet-level vs fluid equilibrium, per-path goodput shares (tolerance ±%.2f)\n",
+		conf.Tolerance)
+	fmt.Printf("  %-8s %-10s %-7s %-9s %s\n", "topology", "algo", "Δshare", "verdict", "sim vs model shares")
+	for _, c := range conf.Results {
+		verdict := "pass"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("  %-8s %-10s %6.3f  %-9s %s vs %s\n",
+			c.Case.Name, c.Case.Algo, c.MaxShareDiff, verdict,
+			shareString(c.SimShares), shareString(c.ModelShares))
+	}
+	fp := conf.FixedPoint
+	verdict = "pass"
+	if !fp.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("  scenario-A LIA fixed point: t1 %.3f vs %.3f, t2 %.3f vs %.3f — %s\n",
+		fp.MeasuredT1Norm, fp.AnalyticT1Norm, fp.MeasuredT2Norm, fp.AnalyticT2Norm, verdict)
+}
+
+// shareString renders a share vector compactly.
+func shareString(shares []float64) string {
+	s := "["
+	for i, v := range shares {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", v)
+	}
+	return s + "]"
+}

@@ -13,6 +13,8 @@
 //	mptcpsim -all -format csv -o results.csv
 //	mptcpsim diff old.json new.json          # per-cell regression deltas
 //	mptcpsim diff -tol 5 old.json new.json   # tolerate 5% relative drift
+//	mptcpsim conform                         # scenario fuzzer + cross-model suite
+//	mptcpsim conform -smoke                  # CI scale (40 scenarios, 20 s windows)
 //
 // Independent simulations (experiments × sweep points × seeds) run
 // concurrently on -j workers (default: all CPUs); every RNG seed derives
@@ -46,6 +48,10 @@ func main() {
 		diffMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "conform" {
+		conformMain(os.Args[2:])
+		return
+	}
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
 		run      = flag.String("run", "", "comma-separated experiment IDs to run")
@@ -65,16 +71,19 @@ func main() {
 	if *full || os.Getenv("MPTCPSIM_FULL") == "1" {
 		cfg = mptcpsim.FullConfig()
 	}
-	if *seeds > 0 {
+	// Non-zero overrides pass through verbatim: bad values (negative
+	// counts, odd arity) are rejected by Config.Validate with a real
+	// error instead of being silently ignored.
+	if *seeds != 0 {
 		cfg.Seeds = *seeds
 	}
-	if *duration > 0 {
+	if *duration != 0 {
 		cfg.Duration = sim.Seconds(*duration)
 	}
-	if *dcdur > 0 {
+	if *dcdur != 0 {
 		cfg.DCDuration = sim.Seconds(*dcdur)
 	}
-	if *k > 0 {
+	if *k != 0 {
 		cfg.FatTreeK = *k
 	}
 	cfg.Workers = *jobs
@@ -177,9 +186,9 @@ func diffMain(args []string) {
 			failed = true
 		}
 		for _, c := range d.Cells {
-			// Text changes and drift from an exact zero have no relative
-			// measure; they always exceed the tolerance.
-			if c.TextA != "" || c.TextB != "" || c.A == 0 || c.RelPct > *tol {
+			// Text changes and deltas without a relative measure (zero or
+			// NaN baseline) always exceed the tolerance.
+			if c.TextA != "" || c.TextB != "" || c.NoBaseline || c.RelPct > *tol {
 				failed = true
 				break
 			}

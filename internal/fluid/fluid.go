@@ -106,6 +106,22 @@ func (a Algo) String() string {
 	}
 }
 
+// ParseAlgo maps a packet-level controller name to its fluid dynamics.
+// Single-route users behave identically under every Algo (each reduces to
+// per-path TCP), so only the multipath coupling needs to match.
+func ParseAlgo(name string) (Algo, error) {
+	switch name {
+	case "olia":
+		return OLIA, nil
+	case "lia":
+		return LIA, nil
+	case "uncoupled":
+		return Uncoupled, nil
+	default:
+		return 0, fmt.Errorf("fluid: no dynamics for algorithm %q", name)
+	}
+}
+
 // Model couples a network with algorithm dynamics over the flattened route
 // vector x (pkts/s). Routes are indexed user-major in declaration order.
 type Model struct {
@@ -419,4 +435,20 @@ func (m *Model) UserRate(x []float64, u int) float64 {
 		sum += x[m.Index(u, r)]
 	}
 	return sum
+}
+
+// UserShares returns user u's per-route rate fractions (summing to 1), the
+// quantity the packet-level conformance oracle compares against measured
+// per-path goodput shares.
+func (m *Model) UserShares(x []float64, u int) []float64 {
+	routes := m.Net.Users[u].Routes
+	out := make([]float64, len(routes))
+	total := m.UserRate(x, u)
+	if total <= 0 {
+		return out
+	}
+	for r := range routes {
+		out[r] = x[m.Index(u, r)] / total
+	}
+	return out
 }

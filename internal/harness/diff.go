@@ -20,8 +20,13 @@ type CellDelta struct {
 	A     float64 `json:"a"`
 	B     float64 `json:"b"`
 	Delta float64 `json:"delta"` // B - A
-	// RelPct is |Delta| as a percentage of |A| (0 when A is 0).
+	// RelPct is |Delta| as a percentage of |A| (0 when A is 0 or either
+	// value is NaN; NoBaseline marks those cases).
 	RelPct float64 `json:"rel_pct"`
+	// NoBaseline is set when the delta has no meaningful relative measure
+	// (zero or NaN baseline); gating tools must treat such a delta as
+	// exceeding any tolerance.
+	NoBaseline bool `json:"no_baseline,omitempty"`
 	// For text cells that differ, the two labels (numeric fields are 0).
 	TextA string `json:"text_a,omitempty"`
 	TextB string `json:"text_b,omitempty"`
@@ -83,6 +88,10 @@ func Diff(a, b *Result) *DiffReport {
 	}
 	for ri := 0; ri < rows; ri++ {
 		n := min(len(a.Rows[ri]), len(b.Rows[ri]))
+		if len(a.Rows[ri]) != len(b.Rows[ri]) {
+			d.ShapeNotes = append(d.ShapeNotes,
+				fmt.Sprintf("row %d cell count differs: %d vs %d", ri, len(a.Rows[ri]), len(b.Rows[ri])))
+		}
 		for ci := 0; ci < n; ci++ {
 			ca, cb := a.Rows[ri][ci], b.Rows[ri][ci]
 			d.Compared++
@@ -98,13 +107,19 @@ func Diff(a, b *Result) *DiffReport {
 						TextA: cellLabel(ca), TextB: cellLabel(cb),
 					})
 				}
-			case ca.Value != cb.Value:
+			case numbersDiffer(ca.Value, cb.Value):
 				cd := CellDelta{
 					Row: ri, Col: ci, Column: name,
 					A: ca.Value, B: cb.Value, Delta: cb.Value - ca.Value,
 				}
-				if ca.Value != 0 {
+				// RelPct has no meaning from a zero or NaN baseline; it
+				// stays 0 there and NoBaseline marks the delta as
+				// ungradable (tooling must treat it as over any
+				// tolerance).
+				if ca.Value != 0 && !math.IsNaN(ca.Value) && !math.IsNaN(cb.Value) {
 					cd.RelPct = math.Abs(cd.Delta) / math.Abs(ca.Value) * 100
+				} else {
+					cd.NoBaseline = true
 				}
 				d.Cells = append(d.Cells, cd)
 			}
@@ -117,6 +132,17 @@ func Diff(a, b *Result) *DiffReport {
 		d.ShapeNotes = append(d.ShapeNotes, notes)
 	}
 	return d
+}
+
+// numbersDiffer compares cell values treating NaN as equal to NaN: a
+// model that produces NaN at the same cell in both runs has not drifted,
+// while NaN on one side only is a real difference (IEEE != would report
+// the first case and, combined, poison relative measures).
+func numbersDiffer(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return false
+	}
+	return a != b
 }
 
 // cellLabel renders a cell for a text-mismatch delta.
@@ -155,12 +181,16 @@ func (d *DiffReport) RenderText(w io.Writer) error {
 		fmt.Fprintf(w, "  ! %s\n", n)
 	}
 	for _, c := range d.Cells {
-		if c.TextA != "" || c.TextB != "" {
+		switch {
+		case c.TextA != "" || c.TextB != "":
 			fmt.Fprintf(w, "  row %2d %-24s %q -> %q\n", c.Row, c.Column, c.TextA, c.TextB)
-			continue
+		case c.NoBaseline:
+			fmt.Fprintf(w, "  row %2d %-24s %12.6g -> %-12.6g (%+.6g, no baseline)\n",
+				c.Row, c.Column, c.A, c.B, c.Delta)
+		default:
+			fmt.Fprintf(w, "  row %2d %-24s %12.6g -> %-12.6g (%+.6g, %.2f%%)\n",
+				c.Row, c.Column, c.A, c.B, c.Delta, c.RelPct)
 		}
-		fmt.Fprintf(w, "  row %2d %-24s %12.6g -> %-12.6g (%+.6g, %.2f%%)\n",
-			c.Row, c.Column, c.A, c.B, c.Delta, c.RelPct)
 	}
 	return nil
 }

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// numResult builds a one-column numeric Result with one row per value.
+func numResult(id string, vals ...float64) *Result {
+	r := &Result{ID: id, Columns: []Column{{Name: "v"}}}
+	for _, v := range vals {
+		r.Rows = append(r.Rows, []Cell{NumCell(v)})
+	}
+	return r
+}
+
+func TestDiffNaNEqualOnBothSides(t *testing.T) {
+	a := numResult("x", math.NaN(), 1)
+	b := numResult("x", math.NaN(), 1)
+	d := Diff(a, b)
+	if !d.Empty() {
+		t.Fatalf("NaN == NaN should not report drift: %+v", d.Cells)
+	}
+}
+
+func TestDiffNaNOneSideFailsTolerance(t *testing.T) {
+	d := Diff(numResult("x", math.NaN()), numResult("x", 2))
+	if len(d.Cells) != 1 {
+		t.Fatalf("NaN -> 2 must report one delta, got %+v", d.Cells)
+	}
+	if !d.Cells[0].NoBaseline {
+		t.Fatal("NaN baseline delta must be marked NoBaseline")
+	}
+	// And the reverse direction: a value decaying to NaN.
+	d = Diff(numResult("x", 2), numResult("x", math.NaN()))
+	if len(d.Cells) != 1 || !d.Cells[0].NoBaseline {
+		t.Fatalf("2 -> NaN must report one ungradable delta, got %+v", d.Cells)
+	}
+	var b strings.Builder
+	if err := d.RenderText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no baseline") {
+		t.Fatalf("RenderText hides the ungradable delta:\n%s", b.String())
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	d := Diff(numResult("x", 0), numResult("x", 3))
+	if len(d.Cells) != 1 {
+		t.Fatalf("0 -> 3 must report one delta, got %+v", d.Cells)
+	}
+	c := d.Cells[0]
+	if !c.NoBaseline || c.RelPct != 0 || c.Delta != 3 {
+		t.Fatalf("zero-baseline delta misreported: %+v", c)
+	}
+	// Two exact zeros are not drift.
+	if d := Diff(numResult("x", 0), numResult("x", 0)); !d.Empty() {
+		t.Fatalf("0 == 0 reported drift: %+v", d.Cells)
+	}
+}
+
+func TestDiffMismatchedRowCounts(t *testing.T) {
+	d := Diff(numResult("x", 1, 2, 3), numResult("x", 1, 2))
+	if d.Empty() {
+		t.Fatal("row-count mismatch must not be Empty")
+	}
+	found := false
+	for _, n := range d.ShapeNotes {
+		if strings.Contains(n, "row count differs: 3 vs 2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing row-count note: %v", d.ShapeNotes)
+	}
+	// The overlapping rows still compare.
+	if d.Compared != 2 {
+		t.Fatalf("compared %d cells, want 2", d.Compared)
+	}
+}
+
+func TestDiffRaggedRow(t *testing.T) {
+	a := numResult("x", 1)
+	a.Rows[0] = append(a.Rows[0], NumCell(7)) // a has 2 cells, b has 1
+	d := Diff(a, numResult("x", 1))
+	if d.Empty() {
+		t.Fatal("ragged row must not be Empty")
+	}
+	found := false
+	for _, n := range d.ShapeNotes {
+		if strings.Contains(n, "cell count differs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing ragged-row note: %v", d.ShapeNotes)
+	}
+}

@@ -84,6 +84,33 @@ func TestGoldenText(t *testing.T) {
 	}
 }
 
+// TestGoldenCoverageComplete guards the snapshot suite itself: every
+// registered experiment must have a committed golden file, and every
+// golden file must belong to a registered experiment — so neither a new
+// experiment nor a renamed ID can silently fall out of snapshot coverage.
+func TestGoldenCoverageComplete(t *testing.T) {
+	onDisk := map[string]bool{}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		onDisk[strings.TrimSuffix(e.Name(), ".txt")] = true
+	}
+	for _, e := range Experiments() {
+		if strings.HasPrefix(e.ID, "zz-") {
+			continue // test-only probes registered by other tests
+		}
+		if !onDisk[e.ID] {
+			t.Errorf("experiment %s has no golden snapshot (run TestGoldenText with -update)", e.ID)
+		}
+		delete(onDisk, e.ID)
+	}
+	for id := range onDisk {
+		t.Errorf("golden file %s.txt does not match any registered experiment", id)
+	}
+}
+
 // checkMachineFormats asserts a collected Result renders as parseable JSON
 // (round-tripping to an equal Result) and parseable CSV.
 func checkMachineFormats(t *testing.T, r *Result) {

@@ -55,6 +55,40 @@ func (cfg Config) workerPool() *runner.Pool {
 	return runner.New(cfg.Workers)
 }
 
+// Validate rejects configurations that previously fell through to silent
+// defaults or nonsense runs: negative worker or seed counts, non-positive
+// measurement windows (metrics divide by the duration — a zero window
+// would render NaN columns without erroring), and an odd or negative
+// FatTree arity (including 0: topo would silently substitute the
+// expensive paper-scale K=8 fabric while result preambles report K=0). A
+// zero count still selects its documented default (Seeds 0 → 1, Workers
+// 0 → GOMAXPROCS), so only those fields tolerate omission; durations and
+// the arity have no safe default and must be set (use DefaultConfig or
+// FullConfig as the base).
+func (cfg Config) Validate() error {
+	if cfg.Workers < 0 {
+		return fmt.Errorf("harness: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Seeds < 0 {
+		return fmt.Errorf("harness: negative seed count %d", cfg.Seeds)
+	}
+	if cfg.Duration <= 0 || cfg.Warmup < 0 {
+		return fmt.Errorf("harness: run duration must be positive and warmup non-negative (duration %v, warmup %v)", cfg.Duration, cfg.Warmup)
+	}
+	if cfg.DCDuration <= 0 || cfg.DCWarmup < 0 {
+		return fmt.Errorf("harness: data-center duration must be positive and warmup non-negative (duration %v, warmup %v)", cfg.DCDuration, cfg.DCWarmup)
+	}
+	if cfg.FatTreeK < 2 || cfg.FatTreeK%2 != 0 {
+		return fmt.Errorf("harness: FatTree arity %d must be even and at least 2", cfg.FatTreeK)
+	}
+	for _, n := range cfg.Subflows {
+		if n < 1 {
+			return fmt.Errorf("harness: subflow count %d must be at least 1", n)
+		}
+	}
+	return nil
+}
+
 // DefaultConfig is the quick configuration used by `go test -bench`.
 func DefaultConfig() Config {
 	return Config{
@@ -103,9 +137,12 @@ type Experiment struct {
 	Text func(r *Result, w io.Writer) error
 }
 
-// CollectResult runs Collect and stamps the registry metadata onto the
-// Result.
+// CollectResult validates the configuration, runs Collect, and stamps the
+// registry metadata onto the Result.
 func (e *Experiment) CollectResult(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	r, err := e.Collect(cfg)
 	if err != nil {
 		return nil, err

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"mptcpsim/internal/sim"
-	"mptcpsim/internal/topo"
 )
 
 // parallelConfig is small enough to run an experiment in well under a
@@ -190,9 +189,8 @@ func TestPerSeedResultsIndependentOfWorkers(t *testing.T) {
 			{c1: 1.5, n1: 20, algo: "olia"},
 		}
 		return sweep(cfg, points, func(p aPoint, seed int64) aMetrics {
-			return runScenarioA(topo.ScenarioAConfig{
-				N1: p.n1, N2: 10, C1: p.c1, C2: 1.0,
-				Ctrl: topo.Controllers[p.algo], Seed: seed,
+			return runScenarioA(aSpec{
+				n1: p.n1, n2: 10, c1: p.c1, c2: 1.0, algo: p.algo, seed: seed,
 			}, cfg)
 		})
 	}

@@ -27,6 +27,9 @@ import (
 // the first failing experiment (in listing order) is written, and that
 // experiment's error is returned.
 func RunAll(cfg Config, ids []string, format Format, w io.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if _, err := ParseFormat(string(format)); err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"mptcpsim/internal/fixedpoint"
 	"mptcpsim/internal/netem"
+	"mptcpsim/internal/scenario"
 	"mptcpsim/internal/stats"
 	"mptcpsim/internal/topo"
 )
@@ -26,33 +27,46 @@ type aMetrics struct {
 	t1Norm, t2Norm, p1, p2 float64
 }
 
-// runScenarioA executes one Scenario A simulation and reports normalized
-// throughputs and loss probabilities over the measurement window.
-func runScenarioA(c topo.ScenarioAConfig, cfg Config) aMetrics {
-	a := topo.BuildScenarioA(c)
-	a.S.RunUntil(cfg.Warmup)
-	var t1Base, t2Base []int64
-	for _, u := range a.Type1 {
-		t1Base = append(t1Base, u.GoodputBytes())
+// aSpec describes one Scenario A cell: N1 type1 users, N2 type2 users,
+// per-user capacities C1 and C2 (Mb/s), and the coupling algorithm.
+type aSpec struct {
+	n1, n2 int
+	c1, c2 float64
+	algo   string
+	seed   int64
+}
+
+// runScenarioA executes one Scenario A simulation — compiled from the
+// shared declarative spec (scenario.PaperScenarioA, which wires the
+// identical rig topo.BuildScenarioA hand-builds, so migrating the figure
+// collection here changed no output bytes; the golden snapshots lock
+// this) — and reports normalized throughputs and loss probabilities over
+// the measurement window.
+func runScenarioA(c aSpec, cfg Config) aMetrics {
+	n, err := scenario.Compile(scenario.PaperScenarioA(
+		c.n1, c.n2, c.c1, c.c2, c.algo, c.seed, cfg.Warmup.Sec(), cfg.Duration.Sec()))
+	if err != nil {
+		panic(fmt.Sprintf("harness: scenario A spec invalid: %v", err))
 	}
-	for _, u := range a.Type1SP {
-		t1Base = append(t1Base, u.Goodput())
+	n.Sim.RunUntil(cfg.Warmup)
+	type1, type2 := n.Groups[0], n.Groups[1]
+	t1Base := make([]int64, len(type1))
+	t2Base := make([]int64, len(type2))
+	for i, f := range type1 {
+		t1Base[i] = f.GoodputBytes()
 	}
-	for _, u := range a.Type2 {
-		t2Base = append(t2Base, u.Goodput())
+	for i, f := range type2 {
+		t2Base[i] = f.GoodputBytes()
 	}
-	l1, l2 := snapLoss(a.ServerQ), snapLoss(a.SharedQ)
-	a.S.RunUntil(cfg.Warmup + cfg.Duration)
+	l1, l2 := snapLoss(n.Links[0].Queue), snapLoss(n.Links[1].Queue)
+	n.Sim.RunUntil(cfg.Warmup + cfg.Duration)
 	secs := cfg.Duration.Sec()
 	var m aMetrics
-	for i, u := range a.Type1 {
-		m.t1Norm += stats.Mbps(u.GoodputBytes()-t1Base[i], secs) / c.C1 / float64(c.N1)
+	for i, f := range type1 {
+		m.t1Norm += stats.Mbps(f.GoodputBytes()-t1Base[i], secs) / c.c1 / float64(c.n1)
 	}
-	for i, u := range a.Type1SP {
-		m.t1Norm += stats.Mbps(u.Goodput()-t1Base[i], secs) / c.C1 / float64(c.N1)
-	}
-	for i, u := range a.Type2 {
-		m.t2Norm += stats.Mbps(u.Goodput()-t2Base[i], secs) / c.C2 / float64(c.N2)
+	for i, f := range type2 {
+		m.t2Norm += stats.Mbps(f.GoodputBytes()-t2Base[i], secs) / c.c2 / float64(c.n2)
 	}
 	m.p1, m.p2 = l1.prob(), l2.prob()
 	return m
@@ -94,9 +108,8 @@ func collectScenarioA(cfg Config, algos []string) []aResult {
 		}
 	}
 	per := sweep(cfg, pts, func(p aPoint, seed int64) aMetrics {
-		return runScenarioA(topo.ScenarioAConfig{
-			N1: p.n1, N2: 10, C1: p.c1, C2: 1.0,
-			Ctrl: topo.Controllers[p.algo], Seed: seed,
+		return runScenarioA(aSpec{
+			n1: p.n1, n2: 10, c1: p.c1, c2: 1.0, algo: p.algo, seed: seed,
 		}, cfg)
 	})
 	out := make([]aResult, len(pts))

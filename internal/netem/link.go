@@ -12,13 +12,17 @@ const (
 	QueueDropTail
 )
 
+// DefaultDropTailPkts is the drop-tail buffer size selected when
+// LinkConfig.DropTailPkts is zero — htsim's 100-packet default.
+const DefaultDropTailPkts = 100
+
 // LinkConfig describes one unidirectional link.
 type LinkConfig struct {
 	RateBps int64
 	Delay   sim.Time
 	Kind    QueueKind
 	// DropTailPkts is the buffer size when Kind is QueueDropTail; a zero
-	// value selects htsim's default of 100 packets.
+	// value selects DefaultDropTailPkts.
 	DropTailPkts int
 	// REDCfg overrides the paper-derived RED parameters when non-nil.
 	REDCfg *REDConfig
@@ -38,7 +42,7 @@ func NewLink(s *sim.Sim, cfg LinkConfig, name string) *Link {
 	case QueueDropTail:
 		n := cfg.DropTailPkts
 		if n == 0 {
-			n = 100
+			n = DefaultDropTailPkts
 		}
 		q = NewDropTail(s, cfg.RateBps, n, name+"/q")
 	case QueueRED:

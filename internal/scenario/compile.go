@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/topo"
+)
+
+// CompiledLink is one built link with the handles the invariant checks and
+// measurements need.
+type CompiledLink struct {
+	Spec  LinkSpec
+	Queue netem.Queue
+	Pipe  *netem.Pipe
+	// Loss is the random-loss element, nil when LossPct is 0.
+	Loss *netem.RandomLoss
+	// LimitPkts is the hard occupancy bound of Queue.
+	LimitPkts int
+}
+
+// Flow is one built flow replica. Multipath flows expose Conn; AlgoTCP
+// flows expose the Src/Sink pair directly. Either way Sinks[i] is the
+// receiving endpoint of path i (FlowSpec.Paths order) and Srcs[i] its
+// sender.
+type Flow struct {
+	// Spec indexes the Spec.Flows entry this replica came from; Replica is
+	// its position within the group.
+	Spec    int
+	Replica int
+	Name    string
+
+	// Conn is the multipath connection (nil for AlgoTCP flows).
+	Conn *mptcp.Conn
+
+	Srcs  []*tcp.Src
+	Sinks []*tcp.Sink
+
+	// AckTap counts ACKs delivered back to this flow's senders, for the
+	// conservation invariant.
+	AckTap *netem.Tap
+}
+
+// GoodputBytes sums in-order bytes delivered across the flow's paths.
+func (f *Flow) GoodputBytes() int64 {
+	var total int64
+	for _, k := range f.Sinks {
+		total += k.GoodputBytes()
+	}
+	return total
+}
+
+// PathGoodputBytes reports in-order bytes delivered on path i (flow-local
+// index).
+func (f *Flow) PathGoodputBytes(i int) int64 { return f.Sinks[i].GoodputBytes() }
+
+// SentPkts sums data segments transmitted (retransmissions included)
+// across the flow's senders.
+func (f *Flow) SentPkts() int64 {
+	var total int64
+	for _, s := range f.Srcs {
+		total += s.Stats().SentPkts
+	}
+	return total
+}
+
+// Net is a compiled scenario: the live simulation plus handles to every
+// element the runtime measures.
+type Net struct {
+	Spec *Spec
+	Sim  *sim.Sim
+
+	Links []*CompiledLink
+	// Flows lists every replica in creation order; Groups indexes them by
+	// Spec.Flows entry.
+	Flows  []*Flow
+	Groups [][]*Flow
+
+	// Rev is the shared return link; pipes lists every propagation pipe
+	// (link, reverse and per-flow access pipes) for in-flight accounting.
+	Rev   *netem.Link
+	pipes []*netem.Pipe
+}
+
+// Compile validates the spec and builds its network. Element creation
+// order matches the hand-built topologies in internal/topo — links first,
+// then flows in listing order, each replica drawing its start jitter as it
+// is created — so a migrated experiment consumes the seed's random stream
+// identically and reproduces its output byte for byte.
+func Compile(sp *Spec) (*Net, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New(sp.Seed)
+	n := &Net{Spec: sp, Sim: s}
+
+	for i, ls := range sp.Links {
+		n.Links = append(n.Links, buildLink(s, ls, i, sp.bufferLimit(i)))
+	}
+	revRate, revDelay := sp.ReverseRateMbps, sp.ReverseDelayMs
+	if revRate == 0 {
+		revRate = defaultReverseRateMbps
+	}
+	if revDelay == 0 {
+		revDelay = defaultReverseDelayMs
+	}
+	n.Rev = netem.NewLink(s, netem.LinkConfig{
+		RateBps:      int64(revRate * 1e6),
+		Delay:        sim.Millis(revDelay),
+		Kind:         netem.QueueDropTail,
+		DropTailPkts: 10_000,
+	}, "rev")
+	for _, l := range n.Links {
+		n.pipes = append(n.pipes, l.Pipe)
+	}
+	n.pipes = append(n.pipes, n.Rev.P)
+
+	nextID := 1000
+	n.Groups = make([][]*Flow, len(sp.Flows))
+	for fi := range sp.Flows {
+		fs := &sp.Flows[fi]
+		base := fs.BaseID
+		if base == 0 {
+			base = nextID
+		}
+		for r := 0; r < fs.count(); r++ {
+			id := base + r*len(fs.Paths)
+			f := n.buildFlow(fi, r, id)
+			n.Flows = append(n.Flows, f)
+			n.Groups[fi] = append(n.Groups[fi], f)
+		}
+		nextID = base + fs.count()*len(fs.Paths)
+		// Round up so the next group starts on a fresh thousand block,
+		// keeping IDs readable in traces.
+		nextID = (nextID/1000 + 1) * 1000
+	}
+	return n, nil
+}
+
+// buildLink assembles one unidirectional link.
+func buildLink(s *sim.Sim, ls LinkSpec, idx, limit int) *CompiledLink {
+	name := fmt.Sprintf("link%d", idx)
+	cfg := netem.LinkConfig{
+		RateBps: int64(ls.RateMbps * 1e6),
+		Delay:   sim.Millis(ls.DelayMs),
+	}
+	switch ls.Queue {
+	case QueueDropTail:
+		cfg.Kind = netem.QueueDropTail
+		cfg.DropTailPkts = ls.BufferPkts // 0 keeps the 100-packet default
+	default:
+		cfg.Kind = netem.QueueRED
+		if ls.BufferPkts > 0 {
+			red := netem.PaperRED(cfg.RateBps)
+			red.LimitPkts = ls.BufferPkts
+			cfg.REDCfg = &red
+		}
+	}
+	cl := &CompiledLink{Spec: ls, LimitPkts: limit}
+	link := netem.NewLink(s, cfg, name)
+	cl.Queue, cl.Pipe = link.Q, link.P
+	if ls.LossPct > 0 {
+		cl.Loss = netem.NewRandomLoss(s, ls.LossPct/100)
+	}
+	return cl
+}
+
+// forwardHops lists the hops of one path: the per-flow access pipe, then
+// each link's loss element (if any), queue and pipe.
+func (n *Net) forwardHops(pi int) []netem.Node {
+	ps := &n.Spec.Paths[pi]
+	hops := []netem.Node{netem.NewPipe(n.Sim, sim.Millis(ps.DelayMs), fmt.Sprintf("path%d/trim", pi))}
+	n.pipes = append(n.pipes, hops[0].(*netem.Pipe))
+	for _, li := range ps.Links {
+		l := n.Links[li]
+		if l.Loss != nil {
+			hops = append(hops, l.Loss)
+		}
+		hops = append(hops, l.Queue, l.Pipe)
+	}
+	return hops
+}
+
+// buildFlow wires one replica of Spec.Flows[fi].
+func (n *Net) buildFlow(fi, replica, flowID int) *Flow {
+	sp := n.Spec
+	fs := &sp.Flows[fi]
+	name := fs.Name
+	if name == "" {
+		name = fmt.Sprintf("flow%d", fi)
+	}
+	f := &Flow{
+		Spec:    fi,
+		Replica: replica,
+		Name:    fmt.Sprintf("%s-%d", name, replica),
+		AckTap:  &netem.Tap{},
+	}
+	cfg := tcp.Config{FlowBytes: fs.FlowBytes}
+	rev := n.Rev
+
+	if fs.Algorithm == AlgoTCP {
+		src := tcp.NewSrc(n.Sim, flowID, f.Name, cfg)
+		sink := tcp.NewSink(n.Sim)
+		src.SetRoute(netem.NewRoute(n.forwardHops(fs.Paths[0])...).Append(sink))
+		sink.SetRoute(netem.NewRoute(rev.Q, rev.P, f.AckTap, src))
+		src.Start(n.startAt(fs))
+		f.Srcs, f.Sinks = []*tcp.Src{src}, []*tcp.Sink{sink}
+	} else {
+		conn := mptcp.New(n.Sim, f.Name, topo.Controllers[fs.Algorithm](), cfg)
+		conn.SetKeepSlowStart(fs.KeepSlowStart)
+		for i, pi := range fs.Paths {
+			sf := conn.AddSubflow(flowID + i)
+			sf.SetRoutes(
+				netem.NewRoute(n.forwardHops(pi)...).Append(sf.Sink),
+				netem.NewRoute(rev.Q, rev.P, f.AckTap, sf.Src),
+			)
+			f.Srcs = append(f.Srcs, sf.Src)
+			f.Sinks = append(f.Sinks, sf.Sink)
+		}
+		conn.Start(n.startAt(fs))
+		f.Conn = conn
+	}
+	if fs.StopSec > 0 {
+		srcs := f.Srcs
+		n.Sim.At(sim.Seconds(fs.StopSec), func() {
+			for _, s := range srcs {
+				s.Pause()
+			}
+		})
+	}
+	return f
+}
+
+// startAt computes one replica's start time, drawing the jitter offset
+// exactly as topo.jitterStart does so migrated scenarios keep the seed's
+// random stream.
+func (n *Net) startAt(fs *FlowSpec) sim.Time {
+	at := sim.Seconds(fs.StartSec)
+	if fs.StartJitter {
+		at += sim.Time(n.Sim.Rand().Int63n(int64(startSpread)))
+	}
+	return at
+}

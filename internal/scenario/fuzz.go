@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mptcpsim/internal/runner"
+)
+
+// FuzzOptions scales a fuzzing campaign.
+type FuzzOptions struct {
+	// N is the number of scenarios to generate and run (default 200).
+	N int
+	// Seed anchors the deterministic generator chain: scenario i is built
+	// from an RNG seeded with Seed and i alone, so a campaign is
+	// reproducible and any failure can be replayed by index.
+	Seed int64
+	// Workers bounds concurrent scenario runs (0 = all CPUs). Scenario i's
+	// outcome never depends on scheduling.
+	Workers int
+}
+
+func (o FuzzOptions) fill() FuzzOptions {
+	if o.N <= 0 {
+		o.N = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FuzzFailure records one scenario that violated an invariant.
+type FuzzFailure struct {
+	// Index replays the scenario: GenSpec(Seed, Index) rebuilds it.
+	Index      int      `json:"index"`
+	Name       string   `json:"name"`
+	Violations []string `json:"violations"`
+}
+
+// FuzzReport summarizes a campaign.
+type FuzzReport struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+	// Events counts kernel events processed across all scenarios.
+	Events uint64 `json:"events"`
+	// Flows and Links count the generated population, a coverage signal.
+	Flows    int           `json:"flows"`
+	Links    int           `json:"links"`
+	Failures []FuzzFailure `json:"failures,omitempty"`
+}
+
+// Failed reports whether any scenario broke an invariant.
+func (r *FuzzReport) Failed() bool { return len(r.Failures) > 0 }
+
+// Fuzz generates opts.N scenarios and runs each one twice: once checking
+// the runtime and post-run invariants (see Run), and a second time to
+// verify the run is byte-identical — same event count, same per-flow byte
+// counts, same queue counters — under the same seed.
+func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
+	opts = opts.fill()
+	rep := &FuzzReport{N: opts.N, Seed: opts.Seed}
+	type outcome struct {
+		events       uint64
+		flows, links int
+		failure      *FuzzFailure
+	}
+	pool := runner.New(opts.Workers)
+	results := runner.Map(pool, opts.N, func(i int) outcome {
+		sp := GenSpec(opts.Seed, i)
+		var out outcome
+		out.links = len(sp.Links)
+		r1, err := Run(sp)
+		if err != nil {
+			// Generated specs always validate; an error here is itself an
+			// invariant failure.
+			out.failure = &FuzzFailure{Index: i, Name: sp.Name,
+				Violations: []string{fmt.Sprintf("run failed: %v", err)}}
+			return out
+		}
+		out.events = r1.Processed
+		out.flows = len(r1.Flows)
+		violations := r1.Violations
+		r2, err := Run(sp)
+		switch {
+		case err != nil:
+			violations = append(violations, fmt.Sprintf("re-run failed: %v", err))
+		case r1.Digest() != r2.Digest():
+			violations = append(violations, fmt.Sprintf(
+				"re-run not identical: %+v vs %+v", r1.Digest(), r2.Digest()))
+		}
+		if len(violations) > 0 {
+			out.failure = &FuzzFailure{Index: i, Name: sp.Name, Violations: violations}
+		}
+		return out
+	})
+	for _, out := range results {
+		rep.Events += out.events
+		rep.Flows += out.flows
+		rep.Links += out.links
+		if out.failure != nil {
+			rep.Failures = append(rep.Failures, *out.failure)
+		}
+	}
+	return rep, nil
+}
+
+// algorithm choices the generator draws from; plain TCP is drawn more
+// often so multipath flows always face single-path competition somewhere.
+var fuzzAlgos = []string{"olia", "lia", "uncoupled", "fullycoupled", AlgoTCP, AlgoTCP}
+
+// GenSpec deterministically builds fuzz scenario index under the campaign
+// seed: 1-4 links of varied rate/delay/discipline (some with random loss),
+// 1-4 paths crossing one or two links each, and 1-4 flow groups mixing
+// coupled multipath algorithms with plain TCP, long-lived and finite
+// workloads, jittered and fixed starts, and mid-run stops.
+func GenSpec(seed int64, index int) *Spec {
+	rng := rand.New(rand.NewSource(seed + int64(index)*1_000_003))
+	sp := &Spec{
+		Name:        fmt.Sprintf("fuzz-%d", index),
+		Seed:        rng.Int63(),
+		WarmupSec:   0.4 + 0.4*rng.Float64(),
+		DurationSec: 1 + 1.5*rng.Float64(),
+	}
+
+	nLinks := 1 + rng.Intn(4)
+	for i := 0; i < nLinks; i++ {
+		l := LinkSpec{
+			// Log-uniform in roughly [0.5, 11] Mb/s.
+			RateMbps: 0.5 * math.Pow(2, 4.5*rng.Float64()),
+			DelayMs:  1 + 30*rng.Float64(),
+		}
+		if rng.Intn(5) < 2 {
+			l.Queue = QueueDropTail
+			l.BufferPkts = 20 + rng.Intn(180)
+		}
+		if rng.Intn(100) < 15 {
+			l.LossPct = 0.05 + 0.95*rng.Float64()
+		}
+		sp.Links = append(sp.Links, l)
+	}
+
+	nPaths := 1 + rng.Intn(4)
+	for i := 0; i < nPaths; i++ {
+		p := PathSpec{Links: []int{rng.Intn(nLinks)}, DelayMs: 5 + 35*rng.Float64()}
+		if nLinks > 1 && rng.Intn(10) < 3 {
+			// Two-bottleneck path over a second, distinct link.
+			second := rng.Intn(nLinks - 1)
+			if second >= p.Links[0] {
+				second++
+			}
+			p.Links = append(p.Links, second)
+		}
+		sp.Paths = append(sp.Paths, p)
+	}
+
+	nFlows := 1 + rng.Intn(4)
+	for i := 0; i < nFlows; i++ {
+		f := FlowSpec{
+			Name:      fmt.Sprintf("f%d", i),
+			Algorithm: fuzzAlgos[rng.Intn(len(fuzzAlgos))],
+			Count:     1 + rng.Intn(3),
+			StartSec:  0.8 * rng.Float64(),
+		}
+		if f.Algorithm == AlgoTCP {
+			f.Paths = []int{rng.Intn(nPaths)}
+		} else {
+			nSub := 1 + rng.Intn(nPaths)
+			if rng.Intn(5) == 0 {
+				// Occasionally route several subflows over one path (the
+				// paper's multiple-subflows-per-bottleneck regime).
+				for j := 0; j < nSub; j++ {
+					f.Paths = append(f.Paths, rng.Intn(nPaths))
+				}
+			} else {
+				f.Paths = rng.Perm(nPaths)[:nSub]
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			// Finite transfer of 16 KB .. 1 MB per path.
+			f.FlowBytes = 16 << (10 + rng.Intn(7))
+		case 1:
+			f.StartJitter = true
+		case 2:
+			// Stop mid-run, after the (possibly jittered) start window.
+			f.StopSec = f.StartSec + 1.3 + 0.8*rng.Float64()
+		}
+		sp.Flows = append(sp.Flows, f)
+	}
+	return sp
+}

@@ -1,0 +1,280 @@
+// Package scenario is a typed, declarative description of arbitrary N-path
+// simulation topologies, compiled into runnable packet-level simulations.
+//
+// A Spec names links (rate, propagation delay, random loss, queue
+// discipline), paths (link sequences plus a per-flow access delay), and
+// flows (congestion-control algorithm, path set, replica count, start/stop
+// times, workload size). Compile wires the exact rig the hand-built
+// topologies in internal/topo construct — same element order, same RNG
+// draws — so experiments migrated onto scenario reproduce their output
+// byte for byte, while the fuzzer (fuzz.go) can generate topologies far
+// outside the ~15 hardcoded paper figures and the conformance oracle
+// (conformance.go) can cross-check packet-level steady states against the
+// fluid-model and fixed-point analyses.
+package scenario
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+)
+
+// QueueKind names a link's buffering discipline.
+type QueueKind string
+
+const (
+	// QueueRED is the paper's testbed RED configuration (the default).
+	QueueRED QueueKind = "red"
+	// QueueDropTail is a fixed-size FIFO (htsim's data-center default).
+	QueueDropTail QueueKind = "droptail"
+)
+
+// LinkSpec describes one unidirectional congestible link: a rate-limited
+// queue followed by a propagation pipe, optionally preceded by a random
+// loss element.
+type LinkSpec struct {
+	// RateMbps is the line rate in Mb/s. Required, > 0.
+	RateMbps float64 `json:"rate_mbps"`
+	// DelayMs is the link's own one-way propagation delay. Paths add their
+	// per-flow access delay on top (see PathSpec.DelayMs).
+	DelayMs float64 `json:"delay_ms,omitempty"`
+	// Queue selects the discipline; empty means RED.
+	Queue QueueKind `json:"queue,omitempty"`
+	// BufferPkts overrides the buffer size in packets: the drop-tail limit
+	// (default 100), or the RED hard limit with thresholds kept at the
+	// paper's rate-scaled values. 0 keeps the defaults.
+	BufferPkts int `json:"buffer_pkts,omitempty"`
+	// LossPct is an i.i.d. random drop percentage applied before the queue
+	// (non-congestive loss). 0 disables.
+	LossPct float64 `json:"loss_pct,omitempty"`
+}
+
+// PathSpec is one route flows can use: an ordered sequence of links, with a
+// per-flow access (trim) pipe in front carrying the path's propagation
+// delay — the structure of the paper's testbed, where bottleneck queues
+// have zero delay and each user's access path carries the 40 ms one-way
+// latency.
+type PathSpec struct {
+	// Links indexes Spec.Links in traversal order. Required, non-empty.
+	Links []int `json:"links"`
+	// DelayMs is the per-flow access pipe's one-way delay.
+	DelayMs float64 `json:"delay_ms,omitempty"`
+}
+
+// AlgoTCP is the FlowSpec.Algorithm value for a plain single-path TCP
+// (Reno) flow with no multipath coupling.
+const AlgoTCP = "tcp"
+
+// FlowSpec describes one group of identical flows.
+type FlowSpec struct {
+	// Name labels the group in reports ("type1", "bg0", ...).
+	Name string `json:"name,omitempty"`
+	// Algorithm is a coupled controller name ("olia", "lia", "uncoupled",
+	// "fullycoupled") or AlgoTCP for a plain single-path TCP flow.
+	Algorithm string `json:"algorithm"`
+	// Paths indexes Spec.Paths: the subflow routes of a multipath flow, or
+	// exactly one path for AlgoTCP.
+	Paths []int `json:"paths"`
+	// Count replicates the flow; 0 means 1.
+	Count int `json:"count,omitempty"`
+	// StartSec is the earliest start time; with StartJitter set, a
+	// uniformly random offset in [0, 1 s) is added per replica — the
+	// paper's randomized Iperf start order.
+	StartSec    float64 `json:"start_sec,omitempty"`
+	StartJitter bool    `json:"start_jitter,omitempty"`
+	// StopSec pauses the flow's senders at this time (0 = never). Paused
+	// flows stop injecting new segments; in-flight data drains normally.
+	StopSec float64 `json:"stop_sec,omitempty"`
+	// FlowBytes bounds the transfer; 0 means long-lived (unbounded).
+	FlowBytes int64 `json:"flow_bytes,omitempty"`
+	// KeepSlowStart preserves normal slow start on multipath subflows
+	// instead of the paper's §IV-B ssthresh=1 setting.
+	KeepSlowStart bool `json:"keep_slow_start,omitempty"`
+	// BaseID seeds the replica flow IDs (replica r gets
+	// BaseID + r·len(Paths)); 0 lets the compiler assign them.
+	BaseID int `json:"base_id,omitempty"`
+}
+
+// Spec is a complete scenario: topology plus workload plus run window.
+type Spec struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Seed drives every random choice (start jitter, RED, random loss).
+	Seed int64 `json:"seed"`
+	// WarmupSec and DurationSec bound the measured window: metrics cover
+	// [Warmup, Warmup+Duration].
+	WarmupSec   float64 `json:"warmup_sec"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Links []LinkSpec `json:"links"`
+	Paths []PathSpec `json:"paths"`
+	Flows []FlowSpec `json:"flows"`
+
+	// ReverseRateMbps and ReverseDelayMs shape the shared uncongested
+	// return (ACK) path; zero selects the testbed values (1000 Mb/s,
+	// 40 ms).
+	ReverseRateMbps float64 `json:"reverse_rate_mbps,omitempty"`
+	ReverseDelayMs  float64 `json:"reverse_delay_ms,omitempty"`
+}
+
+// reverse-path defaults, mirroring topo.revLink.
+const (
+	defaultReverseRateMbps = 1000
+	defaultReverseDelayMs  = 40
+)
+
+// startSpread is the window over which jittered flow starts randomize,
+// matching the hand-built topologies.
+const startSpread = sim.Second
+
+// Validate checks the spec for structural errors: empty topology, bad
+// indices, non-positive rates, negative times, unknown algorithms, AlgoTCP
+// flows with more than one path. It returns the first problem found.
+func (sp *Spec) Validate() error {
+	if sp.DurationSec <= 0 {
+		return fmt.Errorf("scenario %q: duration must be positive, got %g", sp.Name, sp.DurationSec)
+	}
+	if sp.WarmupSec < 0 {
+		return fmt.Errorf("scenario %q: negative warmup %g", sp.Name, sp.WarmupSec)
+	}
+	if sp.ReverseRateMbps < 0 || sp.ReverseDelayMs < 0 {
+		return fmt.Errorf("scenario %q: negative reverse-path shape", sp.Name)
+	}
+	if len(sp.Links) == 0 {
+		return fmt.Errorf("scenario %q: no links", sp.Name)
+	}
+	for i, l := range sp.Links {
+		if l.RateMbps <= 0 {
+			return fmt.Errorf("scenario %q: link %d rate must be positive, got %g", sp.Name, i, l.RateMbps)
+		}
+		if l.DelayMs < 0 {
+			return fmt.Errorf("scenario %q: link %d has negative delay", sp.Name, i)
+		}
+		if l.LossPct < 0 || l.LossPct >= 100 {
+			return fmt.Errorf("scenario %q: link %d loss %g%% outside [0, 100)", sp.Name, i, l.LossPct)
+		}
+		if l.BufferPkts < 0 {
+			return fmt.Errorf("scenario %q: link %d has negative buffer", sp.Name, i)
+		}
+		switch l.Queue {
+		case "", QueueRED, QueueDropTail:
+		default:
+			return fmt.Errorf("scenario %q: link %d has unknown queue kind %q", sp.Name, i, l.Queue)
+		}
+	}
+	if len(sp.Paths) == 0 {
+		return fmt.Errorf("scenario %q: no paths", sp.Name)
+	}
+	for i, p := range sp.Paths {
+		if len(p.Links) == 0 {
+			return fmt.Errorf("scenario %q: path %d crosses no links", sp.Name, i)
+		}
+		if p.DelayMs < 0 {
+			return fmt.Errorf("scenario %q: path %d has negative delay", sp.Name, i)
+		}
+		for _, li := range p.Links {
+			if li < 0 || li >= len(sp.Links) {
+				return fmt.Errorf("scenario %q: path %d references link %d (have %d)", sp.Name, i, li, len(sp.Links))
+			}
+		}
+	}
+	if len(sp.Flows) == 0 {
+		return fmt.Errorf("scenario %q: no flows", sp.Name)
+	}
+	for i, f := range sp.Flows {
+		if f.Algorithm != AlgoTCP {
+			if _, ok := topo.Controllers[f.Algorithm]; !ok {
+				return fmt.Errorf("scenario %q: flow %d has unknown algorithm %q", sp.Name, i, f.Algorithm)
+			}
+		}
+		if len(f.Paths) == 0 {
+			return fmt.Errorf("scenario %q: flow %d uses no paths", sp.Name, i)
+		}
+		if f.Algorithm == AlgoTCP && len(f.Paths) != 1 {
+			return fmt.Errorf("scenario %q: flow %d: plain TCP needs exactly one path, got %d", sp.Name, i, len(f.Paths))
+		}
+		for _, pi := range f.Paths {
+			if pi < 0 || pi >= len(sp.Paths) {
+				return fmt.Errorf("scenario %q: flow %d references path %d (have %d)", sp.Name, i, pi, len(sp.Paths))
+			}
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("scenario %q: flow %d has negative count", sp.Name, i)
+		}
+		if f.StartSec < 0 {
+			return fmt.Errorf("scenario %q: flow %d has negative start time", sp.Name, i)
+		}
+		if f.StopSec < 0 || (f.StopSec > 0 && f.StopSec <= f.StartSec) {
+			return fmt.Errorf("scenario %q: flow %d stop time %g not after start %g", sp.Name, i, f.StopSec, f.StartSec)
+		}
+		if f.FlowBytes < 0 {
+			return fmt.Errorf("scenario %q: flow %d has negative flow bytes", sp.Name, i)
+		}
+	}
+	return nil
+}
+
+// count normalizes a FlowSpec's replica count.
+func (f *FlowSpec) count() int {
+	if f.Count <= 0 {
+		return 1
+	}
+	return f.Count
+}
+
+// EndTime is the simulated instant the measured window closes.
+func (sp *Spec) EndTime() sim.Time {
+	return sim.Seconds(sp.WarmupSec) + sim.Seconds(sp.DurationSec)
+}
+
+// PaperScenarioA expresses the paper's Fig. 1(a) testbed as a Spec: N1
+// type1 multipath users download over a private path (server access link
+// only, loss p1) and a path continuing across the shared AP (loss p1+p2);
+// N2 type2 TCP users cross the shared AP alone. Capacities are per user
+// (server link N1·C1, shared AP N2·C2, Mb/s), starts are jittered as in
+// the testbed. Compiling this spec wires the identical rig
+// topo.BuildScenarioA hand-builds — same element order, same RNG draws —
+// so both the figure experiments (internal/harness) and the fixed-point
+// conformance check run one shared definition of the topology.
+func PaperScenarioA(n1, n2 int, c1, c2 float64, algo string, seed int64, warmupSec, durationSec float64) *Spec {
+	return &Spec{
+		Name: "scenarioA", Seed: seed,
+		WarmupSec:   warmupSec,
+		DurationSec: durationSec,
+		Links: []LinkSpec{
+			{RateMbps: float64(n1) * c1}, // server access link (loss p1)
+			{RateMbps: float64(n2) * c2}, // shared AP (loss p2)
+		},
+		Paths: []PathSpec{
+			{Links: []int{0}, DelayMs: 40},    // type1 private path
+			{Links: []int{0, 1}, DelayMs: 40}, // type1 path via the shared AP
+			{Links: []int{1}, DelayMs: 40},    // type2 path
+		},
+		Flows: []FlowSpec{
+			{Name: "type1", Algorithm: algo, Paths: []int{0, 1},
+				Count: n1, StartJitter: true, BaseID: 1000},
+			{Name: "type2", Algorithm: AlgoTCP, Paths: []int{2},
+				Count: n2, StartJitter: true, BaseID: 2000},
+		},
+	}
+}
+
+// bufferLimit reports the hard occupancy bound (packets) of link l's queue,
+// for the queue-bound invariant.
+func (sp *Spec) bufferLimit(l int) int {
+	ls := sp.Links[l]
+	switch ls.Queue {
+	case QueueDropTail:
+		if ls.BufferPkts > 0 {
+			return ls.BufferPkts
+		}
+		return netem.DefaultDropTailPkts
+	default: // RED
+		if ls.BufferPkts > 0 {
+			return ls.BufferPkts
+		}
+		return netem.PaperRED(int64(ls.RateMbps * 1e6)).LimitPkts
+	}
+}
