@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race check conform conform-smoke bench bench-tables clean
+.PHONY: build vet fmt-check test race check apicheck examples conform conform-smoke bench bench-tables clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet fmt-check race
+check: build vet fmt-check race apicheck
+
+# API-surface lock: regenerate api.txt (the exported declarations of the
+# root package, via cmd/apilock) and fail on drift from the committed
+# version, so public-API changes are deliberate and reviewed.
+apicheck:
+	$(GO) run ./cmd/apilock -o api.txt
+	@if ! git diff --quiet -- api.txt; then \
+		echo "api.txt drifted — the public API changed; review and commit the regenerated file:"; \
+		git --no-pager diff -- api.txt; exit 1; \
+	fi
+
+# Build every example and smoke-run each at reduced scale.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart -seconds 5 > /dev/null
+	$(GO) run ./examples/scenario_a -seconds 5 > /dev/null
+	$(GO) run ./examples/wireless_handover > /dev/null
+	$(GO) run ./examples/datacenter -seconds 1 > /dev/null
 
 # Scenario fuzzer + cross-model conformance suite: 200 generated scenarios
 # under the full invariant set, then packet-vs-fluid/fixed-point goodput

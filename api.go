@@ -6,31 +6,35 @@
 // the paper's analytic fixed points, its fluid model, and a harness that
 // regenerates every table and figure of the evaluation.
 //
-// This top-level package is the public facade. Three entry points matter:
+// This top-level package is the public facade, built around one engine:
 //
-//   - Experiments / CollectExperiment / RunExperiment reproduce the paper's
-//     tables and figures — as structured Results (typed columns, rows of
-//     cells with units and 95% CIs) renderable as text, JSON or CSV, and
-//     comparable with Diff.
-//   - Simulate runs a custom multipath-vs-TCP microbenchmark over
-//     user-defined bottleneck paths.
-//   - AnalyzeTwoPath evaluates the paper's loss-throughput fixed points
-//     without simulation.
+//   - Lab (NewLab + functional options) is the simulation engine. Its
+//     context-aware methods cover every long-running entry point —
+//     Collect/RunAll regenerate the paper's tables and figures as
+//     structured Results, Run executes declarative N-path scenarios, Fuzz
+//     and Conform drive the invariant fuzzer and the cross-model
+//     conformance suite, Simulate runs custom multipath-vs-TCP
+//     microbenchmarks, and Analyze evaluates the paper's loss-throughput
+//     fixed points without simulation. Calls can be cancelled via their
+//     context (errors wrap ErrCanceled) and observed in flight via
+//     WithProgress; failures are matchable with errors.Is/As against the
+//     typed error family in errors.go.
+//   - The free functions mirroring those methods (RunExperiment,
+//     FuzzScenarios, ...) are deprecated compatibility wrappers over a
+//     default Lab, byte-identical in output.
+//   - Rendering and comparison stay pure functions: RenderResult, Diff,
+//     ParseFormat.
 //
 // The heavy machinery lives under internal/ (see DESIGN.md for the map).
 package mptcpsim
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"sort"
 
-	"mptcpsim/internal/core"
 	"mptcpsim/internal/harness"
-	"mptcpsim/internal/netem"
 	"mptcpsim/internal/scenario"
-	"mptcpsim/internal/sim"
-	"mptcpsim/internal/stats"
 	"mptcpsim/internal/topo"
 )
 
@@ -86,58 +90,16 @@ func FullConfig() Config { return harness.FullConfig() }
 // Experiments lists every reproducible table/figure in paper order.
 func Experiments() []*Experiment { return harness.Experiments() }
 
-// CollectExperiment regenerates one table or figure by ID (e.g. "fig9",
-// "table3") and returns its structured Result. Independent simulation jobs
-// inside the experiment (sweep points × seeds) run concurrently on
-// cfg.Workers workers; the Result is identical for any worker count.
-func CollectExperiment(id string, cfg Config) (*Result, error) {
-	e := harness.Get(id)
-	if e == nil {
-		return nil, fmt.Errorf("mptcpsim: unknown experiment %q (have %v)", id, harness.IDs())
-	}
-	return e.CollectResult(cfg)
-}
-
 // RenderResult writes a collected Result to w in the given format. Text
 // output is byte-identical to the classic tables.
 func RenderResult(r *Result, format Format, w io.Writer) error {
 	return harness.Render(r, format, w)
 }
 
-// RunExperiment regenerates one table or figure by ID (e.g. "fig9",
-// "table3"), writing its rows to w — CollectExperiment followed by the
-// text renderer. Independent simulation jobs inside the experiment (sweep
-// points × seeds) run concurrently on cfg.Workers workers; the output is
-// byte-identical for any worker count.
-func RunExperiment(id string, cfg Config, w io.Writer) error {
-	r, err := CollectExperiment(id, cfg)
-	if err != nil {
-		return err
-	}
-	return harness.RenderText(r, w)
-}
-
-// RunAll regenerates the experiments with the given IDs — the full registry
-// in paper order when ids is empty — writing each experiment's banner and
-// table to w in listing order. All experiments share one pool of
-// cfg.Workers workers (0 selects GOMAXPROCS, 1 forces sequential
-// execution); output bytes are identical to running them one at a time.
-func RunAll(ids []string, cfg Config, w io.Writer) error {
-	return harness.RunAll(cfg, ids, harness.FormatText, w)
-}
-
-// RunAllFormat is RunAll with a Format option: text streams each
-// experiment's banner and table, json streams one array of Result objects,
-// csv streams one blank-line-separated block per experiment. Results render
-// in listing order as they complete, byte-identical at any worker count.
-func RunAllFormat(ids []string, cfg Config, format Format, w io.Writer) error {
-	return harness.RunAll(cfg, ids, format, w)
-}
-
 // ScenarioSpec declaratively describes an arbitrary N-path topology —
 // links (rate/delay/loss/queue discipline), paths over them, and flows
 // (algorithm, path set, start/stop times, workload) — compiled into a
-// runnable simulation by RunScenario. See internal/scenario.
+// runnable simulation by Lab.Run. See internal/scenario.
 type ScenarioSpec = scenario.Spec
 
 // ScenarioLink, ScenarioPath and ScenarioFlow are the building blocks of a
@@ -148,45 +110,32 @@ type (
 	ScenarioFlow = scenario.FlowSpec
 )
 
-// ScenarioReport is the outcome of a RunScenario call: per-flow and
-// per-path goodput, per-queue counters, and every invariant violation
-// detected (empty on a healthy run).
+// ScenarioReport is the outcome of a Lab.Run call: per-flow and per-path
+// goodput, per-queue counters, and every invariant violation detected
+// (empty on a healthy run).
 type ScenarioReport = scenario.RunReport
 
-// RunScenario validates, compiles and runs a declarative scenario,
-// measuring goodput over [Warmup, Warmup+Duration] and checking the
-// packet-conservation, capacity, monotonicity and queue-bound invariants.
-func RunScenario(sp ScenarioSpec) (*ScenarioReport, error) { return scenario.Run(&sp) }
+// PaperScenarioA expresses the paper's Fig. 1(a) testbed as a spec: N1
+// type1 multipath users download over a private path and a path continuing
+// across the shared AP; N2 type2 TCP users cross the shared AP alone.
+// Capacities are per user (Mb/s); starts are jittered as in the testbed.
+func PaperScenarioA(n1, n2 int, c1, c2 float64, algo string, seed int64, warmupSec, durationSec float64) ScenarioSpec {
+	return *scenario.PaperScenarioA(n1, n2, c1, c2, algo, seed, warmupSec, durationSec)
+}
 
 // FuzzOptions and FuzzReport scale and summarize a scenario-fuzzing
-// campaign (FuzzScenarios).
+// campaign (Lab.Fuzz).
 type (
 	FuzzOptions = scenario.FuzzOptions
 	FuzzReport  = scenario.FuzzReport
 )
 
-// FuzzScenarios generates N seeded random scenarios and runs each twice:
-// once under the full invariant suite and once more to verify the run is
-// byte-identical. The campaign is deterministic per seed; any failure
-// replays from its index alone.
-func FuzzScenarios(opts FuzzOptions) (*FuzzReport, error) { return scenario.Fuzz(opts) }
-
 // ConformanceOptions and ConformanceReport scale and summarize the
-// cross-model conformance suite (RunConformance).
+// cross-model conformance suite (Lab.Conform).
 type (
 	ConformanceOptions = scenario.ConformanceOptions
 	ConformanceReport  = scenario.ConformanceReport
 )
-
-// RunConformance cross-checks the packet-level simulator against the
-// paper's fluid model and fixed points: on 3- and 4-path topologies, the
-// steady-state per-path goodput shares of OLIA, LIA and uncoupled
-// multipath flows must match the fluid equilibrium within
-// scenario.ShareTolerance, and a scenario-A run must match the Appendix-A
-// LIA fixed point.
-func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
-	return scenario.RunConformance(opts)
-}
 
 // algorithmNames is the sorted controller list, computed once at init.
 var algorithmNames = func() []string {
@@ -207,151 +156,85 @@ func Algorithms() []string {
 	return out
 }
 
-// Path describes one bottleneck path available to the multipath user in
-// Simulate: a single congested link shared with some regular TCP flows.
-type Path struct {
-	// RateMbps is the bottleneck capacity in Mb/s.
-	RateMbps float64
-	// BackgroundTCP is the number of competing single-path TCP flows.
-	BackgroundTCP int
-	// DropTail selects a 100-packet drop-tail queue instead of the paper's
-	// RED configuration.
-	DropTail bool
+// --- Deprecated compatibility wrappers -------------------------------------
+//
+// Each free function below predates the Lab engine and now delegates to a
+// default Lab under context.Background(). Output is byte-identical to the
+// Lab methods; only cancellation, progress streaming and typed-error
+// matching require migrating (see README "Migrating to the Lab API").
+
+// CollectExperiment regenerates one table or figure by ID and returns its
+// structured Result.
+//
+// Deprecated: use Lab.Collect, which adds cancellation, progress events
+// and typed errors.
+func CollectExperiment(id string, cfg Config) (*Result, error) {
+	return NewLab(WithConfig(cfg)).Collect(context.Background(), id)
 }
 
-// Scenario configures a Simulate run: one multipath user across the given
-// paths, each shared with background TCP traffic. The propagation RTT is
-// 80 ms as in the paper's testbed.
-type Scenario struct {
-	// Algorithm is one of Algorithms(); defaults to "olia".
-	Algorithm string
-	// Paths are the bottlenecks (at least one).
-	Paths []Path
-	// DurationSec is the simulated measurement time after a 2 s warm-up
-	// (default 30).
-	DurationSec float64
-	// Seed makes the run reproducible (default 1).
-	Seed int64
-}
-
-// PathReport is the per-path outcome of a Simulate run.
-type PathReport struct {
-	// MultipathMbps is the multipath user's goodput share on this path.
-	MultipathMbps float64 `json:"multipath_mbps"`
-	// BackgroundMbps is the mean goodput of one background TCP flow.
-	BackgroundMbps float64 `json:"background_mbps"`
-	// LossProb is the bottleneck's measured drop probability.
-	LossProb float64 `json:"loss_prob"`
-	// CwndPkts is the subflow's final congestion window.
-	CwndPkts float64 `json:"cwnd_pkts"`
-}
-
-// Report is the outcome of a Simulate run.
-type Report struct {
-	// TotalMbps is the multipath user's aggregate goodput.
-	TotalMbps float64 `json:"total_mbps"`
-	// Paths holds per-path details, in Scenario order.
-	Paths []PathReport `json:"paths"`
-}
-
-// Result converts the report into the structured result model, one row per
-// path, so Simulate output can flow through the same renderers and Diff as
-// the registry experiments.
-func (r Report) Result() *Result {
-	res := &Result{
-		ID:    "simulate",
-		Title: "Custom multipath-vs-TCP microbenchmark (mptcpsim.Simulate)",
-		Columns: []Column{
-			{Name: "path"},
-			{Name: "multipath", Unit: "Mb/s"}, {Name: "background", Unit: "Mb/s"},
-			{Name: "loss_prob"}, {Name: "cwnd", Unit: "pkts"},
-		},
-		Footer: []string{fmt.Sprintf("total %.2f Mb/s", r.TotalMbps)},
+// RunExperiment regenerates one table or figure by ID, writing its text
+// table to w — CollectExperiment followed by the text renderer.
+//
+// Deprecated: use Lab.Collect with RenderResult.
+func RunExperiment(id string, cfg Config, w io.Writer) error {
+	r, err := NewLab(WithConfig(cfg)).Collect(context.Background(), id)
+	if err != nil {
+		return err
 	}
-	for i, p := range r.Paths {
-		res.Rows = append(res.Rows, []Cell{
-			harness.IntCell(i + 1),
-			harness.NumCell(p.MultipathMbps), harness.NumCell(p.BackgroundMbps),
-			harness.NumCell(p.LossProb), harness.NumCell(p.CwndPkts),
-		})
-	}
-	return res
+	return harness.RenderText(r, w)
+}
+
+// RunAll regenerates the experiments with the given IDs — the full registry
+// in paper order when ids is empty — writing each experiment's banner and
+// text table to w in listing order.
+//
+// Deprecated: use Lab.RunAll, which adds cancellation, progress events and
+// typed errors.
+func RunAll(ids []string, cfg Config, w io.Writer) error {
+	return NewLab(WithConfig(cfg)).RunAll(context.Background(), ids, FormatText, w)
+}
+
+// RunAllFormat is RunAll with a Format option: text streams each
+// experiment's banner and table, json streams one array of Result objects,
+// csv streams one blank-line-separated block per experiment.
+//
+// Deprecated: use Lab.RunAll.
+func RunAllFormat(ids []string, cfg Config, format Format, w io.Writer) error {
+	return NewLab(WithConfig(cfg)).RunAll(context.Background(), ids, format, w)
+}
+
+// RunScenario validates, compiles and runs a declarative scenario.
+//
+// Deprecated: use Lab.Run, which adds cancellation and typed errors.
+func RunScenario(sp ScenarioSpec) (*ScenarioReport, error) {
+	return NewLab().Run(context.Background(), sp)
+}
+
+// FuzzScenarios generates N seeded random scenarios and runs each twice:
+// once under the full invariant suite and once more to verify the run is
+// byte-identical.
+//
+// Deprecated: use Lab.Fuzz, which adds cancellation, progress events and
+// typed errors.
+func FuzzScenarios(opts FuzzOptions) (*FuzzReport, error) {
+	return NewLab().Fuzz(context.Background(), opts)
+}
+
+// RunConformance cross-checks the packet-level simulator against the
+// paper's fluid model and fixed points.
+//
+// Deprecated: use Lab.Conform, which adds cancellation, progress events
+// and typed errors.
+func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
+	return NewLab().Conform(context.Background(), opts)
 }
 
 // Simulate runs a multipath user against background TCP flows over custom
-// bottleneck paths and reports the goodput split — the programmatic
-// equivalent of the paper's Fig. 6 microbenchmarks.
+// bottleneck paths and reports the goodput split.
+//
+// Deprecated: use Lab.Simulate, which adds cancellation and typed errors.
 func Simulate(sc Scenario) (Report, error) {
-	if len(sc.Paths) == 0 {
-		return Report{}, fmt.Errorf("mptcpsim: scenario needs at least one path")
-	}
-	algo := sc.Algorithm
-	if algo == "" {
-		algo = "olia"
-	}
-	factory, ok := topo.Controllers[algo]
-	if !ok {
-		return Report{}, fmt.Errorf("mptcpsim: unknown algorithm %q (have %v)", algo, Algorithms())
-	}
-	for i, p := range sc.Paths {
-		if p.RateMbps <= 0 {
-			return Report{}, fmt.Errorf("mptcpsim: path %d rate must be positive, got %g Mb/s", i, p.RateMbps)
-		}
-		if p.BackgroundTCP < 0 {
-			return Report{}, fmt.Errorf("mptcpsim: path %d has negative background flow count %d", i, p.BackgroundTCP)
-		}
-	}
-	dur := sc.DurationSec
-	if dur == 0 {
-		dur = 30
-	}
-	if dur < 0 {
-		return Report{}, fmt.Errorf("mptcpsim: negative duration")
-	}
-	seed := sc.Seed
-	if seed < 0 {
-		return Report{}, fmt.Errorf("mptcpsim: negative seed %d", seed)
-	}
-	if seed == 0 {
-		seed = 1
-	}
-
-	s := sim.New(seed)
-	rig := buildScenario(s, factory(), sc.Paths)
-	warm := 2 * sim.Second
-	end := warm + sim.Seconds(dur)
-	rig.conn.Start(500 * sim.Millisecond)
-	s.RunUntil(warm)
-	mpBase := make([]int64, len(sc.Paths))
-	bgBase := make([]int64, len(sc.Paths))
-	qBase := make([]netem.Counters, len(sc.Paths))
-	for i := range sc.Paths {
-		mpBase[i] = rig.conn.Subflows()[i].Sink.GoodputBytes()
-		for _, k := range rig.bg[i] {
-			bgBase[i] += k.GoodputBytes()
-		}
-		qBase[i] = rig.queues[i].Stats()
-	}
-	s.RunUntil(end)
-
-	var rep Report
-	for i := range sc.Paths {
-		pr := PathReport{
-			MultipathMbps: stats.Mbps(rig.conn.Subflows()[i].Sink.GoodputBytes()-mpBase[i], dur),
-			LossProb:      rig.queues[i].Stats().Sub(qBase[i]).LossProb(),
-			CwndPkts:      rig.conn.CwndPkts(i),
-		}
-		if n := len(rig.bg[i]); n > 0 {
-			var total int64
-			for _, k := range rig.bg[i] {
-				total += k.GoodputBytes()
-			}
-			pr.BackgroundMbps = stats.Mbps(total-bgBase[i], dur) / float64(n)
-		}
-		rep.TotalMbps += pr.MultipathMbps
-		rep.Paths = append(rep.Paths, pr)
-	}
-	return rep, nil
+	return NewLab().Simulate(context.Background(), sc)
 }
 
 // TwoPathAnalysis is the analytic counterpart of a two-path Simulate: given
@@ -367,28 +250,8 @@ type TwoPathAnalysis struct {
 
 // AnalyzeTwoPath evaluates the loss-throughput fixed points for a user with
 // the given per-path loss probabilities and RTTs (seconds). MSS is 1500 B.
+//
+// Deprecated: use Lab.Analyze, which adds typed errors.
 func AnalyzeTwoPath(loss, rtts []float64) (TwoPathAnalysis, error) {
-	if len(loss) != len(rtts) || len(loss) == 0 {
-		return TwoPathAnalysis{}, fmt.Errorf("mptcpsim: need matching non-empty loss and rtt slices")
-	}
-	for i := range loss {
-		if loss[i] <= 0 || rtts[i] <= 0 {
-			return TwoPathAnalysis{}, fmt.Errorf("mptcpsim: loss and rtt must be positive")
-		}
-	}
-	var out TwoPathAnalysis
-	var best float64
-	for i := range loss {
-		if r := core.TCPRate(loss[i], rtts[i]); r > best {
-			best = r
-		}
-	}
-	out.TCPBestMbps = stats.PktsPerSecMbps(best)
-	for _, r := range core.LIARates(loss, rtts) {
-		out.LIAMbps = append(out.LIAMbps, stats.PktsPerSecMbps(r))
-	}
-	for _, r := range core.OLIARates(loss, rtts) {
-		out.OLIAMbps = append(out.OLIAMbps, stats.PktsPerSecMbps(r))
-	}
-	return out, nil
+	return NewLab().Analyze(loss, rtts)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -13,8 +14,9 @@ import (
 // conformMain implements `mptcpsim conform`: the scenario fuzzer plus the
 // cross-model conformance suite, the CLI face of internal/scenario. Exits
 // 1 when any invariant or conformance case fails — the regression gate CI
-// runs with -smoke.
-func conformMain(args []string) {
+// runs with -smoke — and 130 on Ctrl-C (both campaigns cancel at their
+// next scenario/case boundary).
+func conformMain(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("conform", flag.ExitOnError)
 	var (
 		n        = fs.Int("n", 200, "fuzzer scenarios to generate and run")
@@ -34,18 +36,20 @@ func conformMain(args []string) {
 		*n, *duration = 40, 20
 	}
 
+	meter := newMeter()
+	lab := mptcpsim.NewLab(mptcpsim.WithWorkers(*jobs), mptcpsim.WithProgress(meter.observe))
 	t0 := time.Now()
-	fuzz, err := mptcpsim.FuzzScenarios(mptcpsim.FuzzOptions{N: *n, Seed: *seed, Workers: *jobs})
+	fuzz, err := lab.Fuzz(ctx, mptcpsim.FuzzOptions{N: *n, Seed: *seed})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mptcpsim: fuzz: %v\n", err)
-		os.Exit(1)
+		meter.clear()
+		exitOn(err, "interrupted")
 	}
-	conf, err := mptcpsim.RunConformance(mptcpsim.ConformanceOptions{
-		DurationSec: *duration, Seeds: *seeds, Workers: *jobs,
+	conf, err := lab.Conform(ctx, mptcpsim.ConformanceOptions{
+		DurationSec: *duration, Seeds: *seeds,
 	})
+	meter.clear()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mptcpsim: conformance: %v\n", err)
-		os.Exit(1)
+		exitOn(err, "interrupted")
 	}
 
 	if *jsonOut {

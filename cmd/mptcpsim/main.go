@@ -21,6 +21,11 @@
 // from the base seed and the job's position in the sweep, so output is
 // byte-identical to a sequential (-j 1) run in every format.
 //
+// Long runs are observable and interruptible: when stderr is a terminal a
+// live progress line tracks experiments and simulation jobs, and a single
+// Ctrl-C cancels the run gracefully — completed experiments are flushed,
+// workers drain at the next job boundary, and the process exits 130.
+//
 // -format selects the renderer: text (the paper's aligned tables), json
 // (one array of structured Result objects), or csv (one block per
 // experiment). The diff subcommand reads two files written with
@@ -30,12 +35,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mptcpsim"
@@ -44,12 +53,20 @@ import (
 )
 
 func main() {
+	// A single Ctrl-C cancels the run gracefully; a second one kills the
+	// process via the restored default handler — AfterFunc unregisters the
+	// handler the moment the context cancels, since NotifyContext alone
+	// would keep swallowing signals until the deferred stop runs at exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		diffMain(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "conform" {
-		conformMain(os.Args[2:])
+		conformMain(ctx, os.Args[2:])
 		return
 	}
 	var (
@@ -90,8 +107,7 @@ func main() {
 
 	f, err := mptcpsim.ParseFormat(*format)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
-		os.Exit(2)
+		fail(err)
 	}
 
 	switch {
@@ -101,7 +117,7 @@ func main() {
 			fmt.Printf("%-8s %-14s %s\n", e.ID, e.PaperRef, e.Title)
 		}
 	case *all:
-		runAll(nil, cfg, f, *out)
+		exitOn(runAll(ctx, nil, cfg, f, *out), "interrupted — completed experiments were flushed")
 	case *run != "":
 		var ids []string
 		for _, id := range strings.Split(*run, ",") {
@@ -113,32 +129,77 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mptcpsim: -run needs at least one experiment ID")
 			os.Exit(2)
 		}
-		runAll(ids, cfg, f, *out)
+		exitOn(runAll(ctx, ids, cfg, f, *out), "interrupted — completed experiments were flushed")
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runAll(ids []string, cfg mptcpsim.Config, format mptcpsim.Format, outPath string) {
+// errLine renders an error for stderr without doubling the program
+// prefix: *mptcpsim.Error already reads "mptcpsim: <op> ...".
+func errLine(err error) string {
+	var apiError *mptcpsim.Error
+	if errors.As(err, &apiError) {
+		return err.Error()
+	}
+	return "mptcpsim: " + err.Error()
+}
+
+// fail reports a usage-level error and exits 2.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, errLine(err))
+	os.Exit(2)
+}
+
+// exitOn maps a run error to the process exit code: 0 on success, 130 on
+// graceful cancellation (the shell convention for SIGINT, reported with
+// cancelMsg), 1 otherwise. It is the single exit-policy for every
+// subcommand.
+func exitOn(err error, cancelMsg string) {
+	switch {
+	case err == nil:
+	case errors.Is(err, mptcpsim.ErrCanceled):
+		fmt.Fprintln(os.Stderr, "mptcpsim: "+cancelMsg)
+		os.Exit(130)
+	default:
+		fmt.Fprintln(os.Stderr, errLine(err))
+		os.Exit(1)
+	}
+}
+
+// runAll executes the selected experiments on a Lab and writes the output
+// to outPath (or stdout). All errors — including ones from closing the
+// output file, which the old defer-based cleanup silently dropped — are
+// returned so main can exit non-zero on a short write.
+func runAll(ctx context.Context, ids []string, cfg mptcpsim.Config, format mptcpsim.Format, outPath string) (err error) {
 	var w io.Writer = os.Stdout
 	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
-			os.Exit(1)
+		f, cerr := os.Create(outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			// Close errors surface the way write errors do: a full disk
+			// must not leave a truncated file behind a zero exit code.
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		w = f
 	}
+	meter := newMeter()
+	lab := mptcpsim.NewLab(mptcpsim.WithConfig(cfg), mptcpsim.WithProgress(meter.observe))
 	workers := runner.Workers(cfg.Workers)
 	t0 := time.Now()
-	if err := mptcpsim.RunAllFormat(ids, cfg, format, w); err != nil {
-		fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
-		os.Exit(1)
+	err = lab.RunAll(ctx, ids, format, w)
+	meter.clear()
+	if err != nil {
+		return err
 	}
 	// Timing goes to stderr so machine-readable stdout stays parseable.
 	fmt.Fprintf(os.Stderr, "(total %v on %d workers)\n", time.Since(t0).Round(time.Millisecond), workers)
+	return nil
 }
 
 // diffMain implements `mptcpsim diff a.json b.json`: load two result sets
@@ -206,7 +267,9 @@ func diffMain(args []string) {
 }
 
 // loadResults reads a JSON file holding either one Result object or an
-// array of them (the -format json output).
+// array of them (the -format json output). Files that parse but contain no
+// results — `null`, `[]`, or an empty object — are rejected: a vacuous
+// diff input would make any comparison against it pass trivially.
 func loadResults(path string) ([]*mptcpsim.Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -214,11 +277,27 @@ func loadResults(path string) ([]*mptcpsim.Result, error) {
 	}
 	var many []*mptcpsim.Result
 	if err := json.Unmarshal(data, &many); err == nil {
-		return many, nil
+		rs := many[:0]
+		for _, r := range many {
+			if r != nil && !vacuous(r) {
+				rs = append(rs, r)
+			}
+		}
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("%s: contains no results", path)
+		}
+		return rs, nil
 	}
 	var one mptcpsim.Result
 	if err := json.Unmarshal(data, &one); err != nil {
 		return nil, fmt.Errorf("%s: not a Result or []Result JSON file: %w", path, err)
 	}
+	if vacuous(&one) {
+		return nil, fmt.Errorf("%s: contains no results", path)
+	}
 	return []*mptcpsim.Result{&one}, nil
 }
+
+// vacuous reports whether a decoded Result carries no actual content (the
+// product of diffing a `{}` or `[{}]` file).
+func vacuous(r *mptcpsim.Result) bool { return r.ID == "" && len(r.Rows) == 0 }

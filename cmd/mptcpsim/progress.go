@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mptcpsim"
+)
+
+// meter renders the Lab's structured progress events as a live single-line
+// status on stderr. It stays silent when stderr is not a terminal (CI logs,
+// redirections), and throttles redraws so the callback never becomes the
+// bottleneck of a fast run.
+type meter struct {
+	mu       sync.Mutex
+	enabled  bool
+	lastLen  int       // width of the last rendered line, for clearing
+	lastDraw time.Time // throttle marker
+
+	running     map[string]struct{} // experiments currently collecting
+	current     string              // one of them, for display
+	finished    int
+	failed      int
+	done, total int // cumulative simulation jobs
+}
+
+// drawEvery bounds the redraw rate.
+const drawEvery = 100 * time.Millisecond
+
+func newMeter() *meter {
+	st, err := os.Stderr.Stat()
+	return &meter{
+		enabled: err == nil && st.Mode()&os.ModeCharDevice != 0,
+		running: make(map[string]struct{}),
+	}
+}
+
+// observe is the mptcpsim.WithProgress sink.
+func (m *meter) observe(ev mptcpsim.ProgressEvent) {
+	if !m.enabled {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case mptcpsim.ProgressExperimentStarted:
+		m.running[ev.Experiment] = struct{}{}
+		m.current = ev.Experiment
+	case mptcpsim.ProgressExperimentFinished:
+		delete(m.running, ev.Experiment)
+		m.finished++
+		if ev.Err != nil {
+			m.failed++
+		}
+		if m.current == ev.Experiment {
+			m.current = ""
+			for id := range m.running {
+				m.current = id
+				break
+			}
+		}
+	case mptcpsim.ProgressJobs:
+		m.done, m.total = ev.Done, ev.Total
+	}
+	m.draw(false)
+}
+
+// draw repaints the status line (throttled unless forced).
+func (m *meter) draw(force bool) {
+	now := time.Now()
+	if !force && now.Sub(m.lastDraw) < drawEvery {
+		return
+	}
+	m.lastDraw = now
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d jobs", m.done, m.total)
+	if m.finished > 0 || len(m.running) > 0 {
+		fmt.Fprintf(&b, ", %d experiments done", m.finished)
+	}
+	if m.failed > 0 {
+		fmt.Fprintf(&b, " (%d FAILED)", m.failed)
+	}
+	if m.current != "" {
+		fmt.Fprintf(&b, " — running %s", m.current)
+	}
+	line := b.String()
+	pad := m.lastLen - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(os.Stderr, "\r%s%s", line, strings.Repeat(" ", pad))
+	m.lastLen = len(line)
+}
+
+// clear erases the status line before final output is printed.
+func (m *meter) clear() {
+	if !m.enabled {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastLen > 0 {
+		fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", m.lastLen))
+		m.lastLen = 0
+	}
+}

@@ -1,19 +1,24 @@
-// Data-center example (the paper's §VI-B) through the public structured
-// API: collect the Fig. 13(a) experiment — a FatTree fabric where every
-// host sends a long-lived flow to a random peer — and read its cells
-// programmatically. MPTCP with several subflows spread over ECMP paths
-// recovers the fabric's capacity; a single-path TCP flow cannot. Both
-// couplings (LIA, OLIA) work; OLIA does so while remaining Pareto-optimal.
+// Data-center example (the paper's §VI-B) through the Lab engine: collect
+// the Fig. 13(a) experiment — a FatTree fabric where every host sends a
+// long-lived flow to a random peer — and read its cells programmatically.
+// MPTCP with several subflows spread over ECMP paths recovers the fabric's
+// capacity; a single-path TCP flow cannot. Both couplings (LIA, OLIA)
+// work; OLIA does so while remaining Pareto-optimal.
+//
+// The Lab's progress stream reports simulation jobs as they finish, and
+// Ctrl-C cancels the collection at the next job boundary.
 //
 //	go run ./examples/datacenter            # K=4 fabric, quick
 //	go run ./examples/datacenter -k 8       # the paper's 128-host fabric
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"mptcpsim"
 	"mptcpsim/internal/sim"
@@ -28,9 +33,24 @@ func main() {
 	cfg := mptcpsim.DefaultConfig()
 	cfg.FatTreeK = *k
 	cfg.DCDuration = sim.Seconds(*secs)
-	cfg.Workers = *jobs
 
-	res, err := mptcpsim.CollectExperiment("fig13a", cfg)
+	// Ctrl-C cancels the collection gracefully via the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []mptcpsim.Option{mptcpsim.WithConfig(cfg), mptcpsim.WithWorkers(*jobs)}
+	// Stream job progress to stderr — only when it is a terminal, so CI
+	// logs and redirections stay clean.
+	if st, err := os.Stderr.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+		opts = append(opts, mptcpsim.WithProgress(func(ev mptcpsim.ProgressEvent) {
+			if ev.Kind == mptcpsim.ProgressJobs {
+				fmt.Fprintf(os.Stderr, "\r%d/%d simulation jobs", ev.Done, ev.Total)
+			}
+		}))
+		defer fmt.Fprintln(os.Stderr)
+	}
+	lab := mptcpsim.NewLab(opts...)
+	res, err := lab.Collect(ctx, "fig13a")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,15 @@
 // Quickstart: simulate one multipath user over two bottleneck paths with
-// OLIA and with LIA, read the structured results programmatically (no text
-// parsing), and compare against the analytic fixed points.
+// OLIA and with LIA through the Lab engine, read the structured results
+// programmatically (no text parsing), and compare against the analytic
+// fixed points.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -seconds 5   # shorter smoke run
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +18,14 @@ import (
 )
 
 func main() {
+	seconds := flag.Float64("seconds", 60, "measured seconds per run")
+	flag.Parse()
+
+	// One engine for every call; cancelling ctx (e.g. from a signal
+	// handler) would stop the simulations at the next job boundary.
+	lab := mptcpsim.NewLab()
+	ctx := context.Background()
+
 	// Two 10 Mb/s RED-queued paths, the second twice as crowded — the
 	// paper's Fig. 6(b) "asymmetric" microbenchmark.
 	paths := []mptcpsim.Path{
@@ -22,10 +34,10 @@ func main() {
 	}
 
 	for _, algo := range []string{"olia", "lia"} {
-		rep, err := mptcpsim.Simulate(mptcpsim.Scenario{
+		rep, err := lab.Simulate(ctx, mptcpsim.Scenario{
 			Algorithm:   algo,
 			Paths:       paths,
-			DurationSec: 60,
+			DurationSec: *seconds,
 			Seed:        1,
 		})
 		if err != nil {
@@ -55,7 +67,7 @@ func main() {
 
 	// The analytic view of the same situation: with the measured-scale loss
 	// probabilities, where do the fixed points sit?
-	analysis, err := mptcpsim.AnalyzeTwoPath(
+	analysis, err := lab.Analyze(
 		[]float64{0.005, 0.02}, // path 2 four times lossier
 		[]float64{0.15, 0.15},
 	)

@@ -4,45 +4,52 @@
 // them (the server link is their bottleneck), yet with LIA it severely hurts
 // the TCP users. OLIA fixes it.
 //
+// The packet-level runs go through the Lab engine and the declarative
+// scenario spec (PaperScenarioA); only the paper's analytic fixed points
+// still come from the internal math package.
+//
 //	go run ./examples/scenario_a
+//	go run ./examples/scenario_a -seconds 10   # shorter smoke run
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
+	"mptcpsim"
 	"mptcpsim/internal/fixedpoint"
-	"mptcpsim/internal/sim"
-	"mptcpsim/internal/stats"
-	"mptcpsim/internal/topo"
 )
 
 const (
 	n1, n2 = 20, 10 // twice as many upgraded users as TCP users
 	c1, c2 = 1.0, 1.0
 	warmup = 5
-	dur    = 60
 )
 
-func run(name string) (t2 float64, p2 float64) {
-	a := topo.BuildScenarioA(topo.ScenarioAConfig{
-		N1: n1, N2: n2, C1: c1, C2: c2,
-		Ctrl: topo.Controllers[name], Seed: 7,
-	})
-	a.S.RunUntil(warmup * sim.Second)
-	base := make([]int64, n2)
-	for i, u := range a.Type2 {
-		base[i] = u.Goodput()
-	}
-	q0 := a.SharedQ.Stats()
-	a.S.RunUntil((warmup + dur) * sim.Second)
-	for i, u := range a.Type2 {
-		t2 += stats.Mbps(u.Goodput()-base[i], dur) / c2 / n2
-	}
-	return t2, a.SharedQ.Stats().Sub(q0).LossProb()
-}
-
 func main() {
+	seconds := flag.Float64("seconds", 60, "measured seconds per run")
+	flag.Parse()
+
+	lab := mptcpsim.NewLab()
+	ctx := context.Background()
+
+	// run measures the TCP users' normalized goodput and the shared AP's
+	// loss probability under one coupling, from a declarative spec run.
+	run := func(algo string) (t2, p2 float64) {
+		rep, err := lab.Run(ctx, mptcpsim.PaperScenarioA(n1, n2, c1, c2, algo, 7, warmup, *seconds))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Flows list every replica in spec order: n1 type1 users first,
+		// then the n2 type2 TCP users; queue 1 is the shared AP.
+		for _, f := range rep.Flows[n1:] {
+			t2 += f.GoodputMbps / c2 / n2
+		}
+		return t2, rep.Queues[1].Window.LossProb()
+	}
+
 	fmt.Printf("Scenario A: %d MPTCP users (server-limited to %.1f Mb/s each) share an AP\n", n1, c1)
 	fmt.Printf("with %d regular TCP users; the AP alone would give each TCP user %.1f Mb/s.\n\n", n2, c2)
 

@@ -1,62 +1,87 @@
 // Wireless-handover example: responsiveness to a changing environment,
 // motivated by the paper's discussion of Chen et al.'s WiFi/cellular
-// measurements. A two-path user starts on two equally good links; at
+// measurements. A two-path OLIA user starts on two equally good links; at
 // t = 40 s a crowd of eight TCP transfers joins link 2 (a congested WiFi
-// cell) and leaves after finishing ~5 MB each. The trace shows OLIA moving
-// its window to the healthy path within seconds and re-balancing when
-// capacity returns — responsiveness without flappiness.
+// cell) and leaves after finishing ~5 MB each.
+//
+// The whole episode is one declarative scenario run through the Lab
+// engine. Because a run is deterministic per seed, measuring three
+// different windows of the same trajectory — before, during and after the
+// crowd — just means running the identical spec with three measurement
+// windows: the per-path goodput split shows OLIA moving its traffic to
+// the healthy path within seconds and re-balancing when capacity returns.
 //
 //	go run ./examples/wireless_handover
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"mptcpsim/internal/netem"
-	"mptcpsim/internal/sim"
-	"mptcpsim/internal/tcp"
-	"mptcpsim/internal/topo"
+	"mptcpsim"
 )
 
-func main() {
-	tl := topo.BuildTwoLink(topo.TwoLinkConfig{
-		C: 10, NTCP1: 2, NTCP2: 2,
-		Ctrl: topo.Controllers["olia"], Seed: 3,
-	})
-	s := tl.S
-
-	// The crowd: eight 5 MB transfers across link 2, starting at t = 40 s.
-	// Each path gets its own 40 ms trim pipe (the rig's links carry no
-	// propagation delay themselves) and shares the rig's link-2 queue.
-	rev := netem.NewLink(s, netem.LinkConfig{
-		RateBps: 1_000_000_000, Delay: 40 * sim.Millisecond,
-		Kind: netem.QueueDropTail, DropTailPkts: 10_000,
-	}, "crowd-rev")
-	done := 0
+// handoverSpec is the fixed trajectory: two 10 Mb/s RED links with two
+// long-lived TCP flows each, one OLIA user across both, and a crowd of
+// eight 5 MB transfers hitting link 2 from t = 40 s (staggered 20 ms
+// apart, as a real burst of arrivals would be).
+func handoverSpec(warmupSec, durationSec float64) mptcpsim.ScenarioSpec {
+	sp := mptcpsim.ScenarioSpec{
+		Name: "wireless-handover", Seed: 3,
+		WarmupSec: warmupSec, DurationSec: durationSec,
+		Links: []mptcpsim.ScenarioLink{{RateMbps: 10}, {RateMbps: 10}},
+		Paths: []mptcpsim.ScenarioPath{
+			{Links: []int{0}, DelayMs: 40},
+			{Links: []int{1}, DelayMs: 40},
+		},
+		Flows: []mptcpsim.ScenarioFlow{
+			{Name: "user", Algorithm: "olia", Paths: []int{0, 1}},
+			{Name: "bg1", Algorithm: "tcp", Paths: []int{0}, Count: 2},
+			{Name: "bg2", Algorithm: "tcp", Paths: []int{1}, Count: 2},
+		},
+	}
 	for i := 0; i < 8; i++ {
-		trim := netem.NewPipe(s, 40*sim.Millisecond, "crowd-trim")
-		exit := netem.NewPipe(s, 0, "crowd-exit")
-		src := tcp.NewSrc(s, 900+i, "crowd", tcp.Config{FlowBytes: 5_000_000})
-		sink := tcp.NewSink(s)
-		src.SetRoute(netem.NewRoute(trim, tl.Q2, exit, sink))
-		sink.SetRoute(netem.NewRoute(rev.Q, rev.P, src))
-		src.OnComplete = func(*tcp.Src) { done++ }
-		src.Start(40*sim.Second + sim.Time(i)*20*sim.Millisecond)
+		sp.Flows = append(sp.Flows, mptcpsim.ScenarioFlow{
+			Name: fmt.Sprintf("crowd%d", i), Algorithm: "tcp", Paths: []int{1},
+			StartSec: 40 + 0.02*float64(i), FlowBytes: 5_000_000,
+		})
+	}
+	return sp
+}
+
+func main() {
+	lab := mptcpsim.NewLab()
+	ctx := context.Background()
+
+	windows := []struct {
+		name           string
+		warmup, length float64
+	}{
+		{"before the crowd  [  5, 35]s", 5, 30},
+		{"crowd on link 2   [ 45, 75]s", 45, 30},
+		{"after the crowd   [ 90,120]s", 90, 30},
 	}
 
-	tl.MP.Start(500 * sim.Millisecond)
-	fmt.Println("t(s)   w1(pkts)  w2(pkts)   crowd")
-	for t := 5; t <= 120; t += 5 {
-		s.RunUntil(sim.Time(t) * sim.Second)
-		state := "idle"
-		if t > 40 && done < 8 {
-			state = fmt.Sprintf("active (%d/8 finished)", done)
-		} else if done == 8 {
-			state = "gone"
+	fmt.Println("window                        w1 (Mb/s)  w2 (Mb/s)  link-2 share")
+	for _, w := range windows {
+		rep, err := lab.Run(ctx, handoverSpec(w.warmup, w.length))
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%4d   %8.1f  %8.1f   %s\n", t, tl.MP.CwndPkts(0), tl.MP.CwndPkts(1), state)
+		if len(rep.Violations) != 0 {
+			log.Fatalf("invariant violations: %v", rep.Violations)
+		}
+		user := rep.Flows[0] // the OLIA user is the first flow in the spec
+		share := 0.0
+		if user.GoodputMbps > 0 {
+			share = user.PathMbps[1] / user.GoodputMbps
+		}
+		fmt.Printf("%s  %9.2f  %9.2f  %11.1f%%\n",
+			w.name, user.PathMbps[0], user.PathMbps[1], 100*share)
 	}
-	fmt.Println("\nExpected shape: w2 collapses once the crowd arrives while w1 grows to")
-	fmt.Println("compensate (the α term moving traffic to the best path), then w2")
-	fmt.Println("recovers after the crowd drains.")
+
+	fmt.Println("\nExpected shape: the link-2 share collapses once the crowd arrives while")
+	fmt.Println("path 1 grows to compensate (the α term moving traffic to the best path),")
+	fmt.Println("then the split re-balances after the crowd drains.")
 }

@@ -17,12 +17,21 @@ import (
 // returns, for each point, the per-seed results in seed order. The seed
 // passed to fn is cfg.BaseSeed + s for repetition s, exactly the chain the
 // sequential harness used.
+//
+// Cancellation (cfg.context()) stops unstarted jobs inside runner.Map;
+// the returned slices then hold zero values at the skipped positions.
+// Collect functions keep merging those zeros — cheap, pure arithmetic —
+// and CollectResult discards the bogus result when it re-checks the
+// context, so the error path stays out of every experiment's merge logic.
 func sweep[P, T any](cfg Config, points []P, fn func(p P, seed int64) T) [][]T {
 	seeds := cfg.Seeds
 	if seeds < 1 {
 		seeds = 1
 	}
-	flat := runner.Map(cfg.workerPool(), len(points)*seeds, func(i int) T {
+	n := len(points) * seeds
+	cfg.noteJobs(n)
+	flat, _ := runner.Map(cfg.context(), cfg.workerPool(), n, func(i int) T {
+		defer cfg.jobDone()
 		return fn(points[i/seeds], cfg.BaseSeed+int64(i%seeds))
 	})
 	out := make([][]T, len(points))
@@ -34,9 +43,12 @@ func sweep[P, T any](cfg Config, points []P, fn func(p P, seed int64) T) [][]T {
 
 // perPoint runs fn once per point on the worker pool (for studies that use
 // a single repetition at cfg.BaseSeed, such as the ablations) and returns
-// the results in point order.
+// the results in point order. Cancellation behaves as in sweep.
 func perPoint[P, T any](cfg Config, points []P, fn func(p P) T) []T {
-	return runner.Map(cfg.workerPool(), len(points), func(i int) T {
+	cfg.noteJobs(len(points))
+	out, _ := runner.Map(cfg.context(), cfg.workerPool(), len(points), func(i int) T {
+		defer cfg.jobDone()
 		return fn(points[i])
 	})
+	return out
 }

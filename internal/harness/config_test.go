@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -58,11 +59,11 @@ func TestConfigValidate(t *testing.T) {
 func TestCollectResultRejectsBadConfig(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Seeds = -1
-	if _, err := Get("fig1b").CollectResult(cfg); err == nil {
+	if _, err := Get("fig1b").CollectResult(context.Background(), cfg); err == nil {
 		t.Fatal("CollectResult accepted a negative seed count")
 	}
 	var b strings.Builder
-	if err := RunAll(cfg, []string{"fig1b"}, FormatText, &b); err == nil {
+	if err := RunAll(context.Background(), cfg, []string{"fig1b"}, FormatText, &b); err == nil {
 		t.Fatal("RunAll accepted a negative seed count")
 	}
 	if b.Len() != 0 {

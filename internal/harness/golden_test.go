@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -53,7 +54,7 @@ func TestGoldenText(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			r, err := e.CollectResult(cfg)
+			r, err := e.CollectResult(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -17,6 +18,37 @@ import (
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
 )
+
+// EventKind enumerates the progress notifications a collection emits.
+type EventKind int
+
+const (
+	// EventExperimentStart fires when an experiment's collection is
+	// dispatched. Experiments in one RunAll all dispatch up front and
+	// their simulation jobs interleave on the shared worker pool, so
+	// several experiments are legitimately "started" at once; per-job
+	// progress is what EventJobs tracks.
+	EventExperimentStart EventKind = iota
+	// EventExperimentDone fires when an experiment finishes (Err set on
+	// failure).
+	EventExperimentDone
+	// EventJobs fires whenever the cumulative simulation-job counters of
+	// the top-level call change: jobs are registered as sweeps fan out and
+	// counted down as workers complete them.
+	EventJobs
+)
+
+// Event is one structured progress notification from a running collection.
+// Events are emitted from worker goroutines; sinks must be safe for
+// concurrent calls and fast.
+type Event struct {
+	Kind       EventKind
+	Experiment string // experiment ID for experiment-scoped events
+	Err        error  // failure, on EventExperimentDone
+	// JobsDone and JobsTotal are the cumulative counters across the whole
+	// top-level call (one RunAll spanning many experiments shares one pair).
+	JobsDone, JobsTotal int
+}
 
 // Config controls experiment scale. Quick (default) settings keep the whole
 // registry runnable in minutes; Full reproduces the paper's scale.
@@ -45,7 +77,22 @@ type Config struct {
 	// experiments compete for a single worker budget; when nil (an
 	// experiment run directly), each sweep creates its own.
 	pool *runner.Pool
+	// ctx is the cancellation context of the top-level call, installed by
+	// CollectResult/RunAll; nil means context.Background().
+	ctx context.Context
+	// events is the progress sink (SetProgress); nil drops all events.
+	events func(Event)
+	// jobs is the shared cumulative job counter of one top-level call
+	// (runner.Progress serializes counter updates with their emissions so
+	// the EventJobs stream is monotone).
+	jobs *runner.Progress
 }
+
+// SetProgress installs a progress sink on the configuration: every
+// collection run under cfg reports experiment starts/finishes and
+// cumulative job progress to fn. fn is called from worker goroutines and
+// must be safe for concurrent use.
+func SetProgress(cfg *Config, fn func(Event)) { cfg.events = fn }
 
 // workerPool returns the gate simulation jobs must pass through.
 func (cfg Config) workerPool() *runner.Pool {
@@ -53,6 +100,47 @@ func (cfg Config) workerPool() *runner.Pool {
 		return cfg.pool
 	}
 	return runner.New(cfg.Workers)
+}
+
+// context returns the call's cancellation context.
+func (cfg Config) context() context.Context {
+	if cfg.ctx == nil {
+		return context.Background()
+	}
+	return cfg.ctx
+}
+
+// emit sends one progress event, if a sink is installed.
+func (cfg Config) emit(ev Event) {
+	if cfg.events != nil {
+		cfg.events(ev)
+	}
+}
+
+// newJobCounter builds the shared job counter of one top-level call,
+// bridging it to the configuration's event sink.
+func (cfg Config) newJobCounter() *runner.Progress {
+	if cfg.events == nil {
+		return runner.NewProgress(nil)
+	}
+	events := cfg.events
+	return runner.NewProgress(func(done, total int) {
+		events(Event{Kind: EventJobs, JobsDone: done, JobsTotal: total})
+	})
+}
+
+// noteJobs registers n upcoming simulation jobs on the shared counter.
+func (cfg Config) noteJobs(n int) {
+	if cfg.jobs != nil {
+		cfg.jobs.Add(n)
+	}
+}
+
+// jobDone counts one finished simulation job on the shared counter.
+func (cfg Config) jobDone() {
+	if cfg.jobs != nil {
+		cfg.jobs.Step()
+	}
 }
 
 // Validate rejects configurations that previously fell through to silent
@@ -137,15 +225,29 @@ type Experiment struct {
 	Text func(r *Result, w io.Writer) error
 }
 
-// CollectResult validates the configuration, runs Collect, and stamps the
-// registry metadata onto the Result.
-func (e *Experiment) CollectResult(cfg Config) (*Result, error) {
+// CollectResult validates the configuration, runs Collect under ctx, and
+// stamps the registry metadata onto the Result. Cancelling ctx stops the
+// experiment's simulation jobs at the next job boundary and returns an
+// error wrapping ctx.Err(); any partially collected result is discarded.
+func (e *Experiment) CollectResult(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %s: collection canceled: %w", e.ID, err)
+	}
+	cfg.ctx = ctx
+	if cfg.jobs == nil {
+		cfg.jobs = cfg.newJobCounter()
 	}
 	r, err := e.Collect(cfg)
 	if err != nil {
 		return nil, err
+	}
+	// A cancelled sweep returns zero values for the jobs that never ran;
+	// whatever Collect merged from them is not a real result.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %s: collection canceled: %w", e.ID, err)
 	}
 	r.ID, r.PaperRef, r.Title = e.ID, e.PaperRef, e.Title
 	return r, nil
@@ -153,8 +255,8 @@ func (e *Experiment) CollectResult(cfg Config) (*Result, error) {
 
 // Run collects the experiment and renders its table to w — the classic
 // entry point, equivalent to CollectResult followed by RenderText.
-func (e *Experiment) Run(cfg Config, w io.Writer) error {
-	r, err := e.CollectResult(cfg)
+func (e *Experiment) Run(ctx context.Context, cfg Config, w io.Writer) error {
+	r, err := e.CollectResult(ctx, cfg)
 	if err != nil {
 		return err
 	}

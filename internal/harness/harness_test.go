@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestAnalyticExperimentsRun(t *testing.T) {
 	cfg := DefaultConfig()
 	for _, id := range []string{"fig4a", "fig4b", "fig5b", "fig17"} {
 		var b strings.Builder
-		if err := Get(id).Run(cfg, &b); err != nil {
+		if err := Get(id).Run(context.Background(), cfg, &b); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if len(strings.Split(b.String(), "\n")) < 5 {
@@ -94,7 +95,7 @@ func TestScenarioExperimentsRunTiny(t *testing.T) {
 	cfg := tinyConfig()
 	for _, id := range []string{"fig1b", "table1", "fig7"} {
 		var b strings.Builder
-		if err := Get(id).Run(cfg, &b); err != nil {
+		if err := Get(id).Run(context.Background(), cfg, &b); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if b.Len() == 0 {
@@ -110,7 +111,7 @@ func TestDatacenterExperimentsRunTiny(t *testing.T) {
 	cfg := tinyConfig()
 	for _, id := range []string{"fig13a", "table3"} {
 		var b strings.Builder
-		if err := Get(id).Run(cfg, &b); err != nil {
+		if err := Get(id).Run(context.Background(), cfg, &b); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if b.Len() == 0 {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -50,7 +51,7 @@ func TestWorkerCountByteIdentical(t *testing.T) {
 		var ref string
 		for vi, workers := range workerVariants {
 			var b strings.Builder
-			if err := Get(id).Run(parallelConfig(workers), &b); err != nil {
+			if err := Get(id).Run(context.Background(), parallelConfig(workers), &b); err != nil {
 				t.Fatalf("%s (Workers=%d): %v", id, workers, err)
 			}
 			if vi == 0 {
@@ -79,7 +80,7 @@ func TestRunAllByteIdentical(t *testing.T) {
 	var ref string
 	for vi, workers := range workerVariants {
 		var b strings.Builder
-		if err := RunAll(parallelConfig(workers), ids, FormatText, &b); err != nil {
+		if err := RunAll(context.Background(), parallelConfig(workers), ids, FormatText, &b); err != nil {
 			t.Fatalf("RunAll (Workers=%d): %v", workers, err)
 		}
 		if vi == 0 {
@@ -132,7 +133,7 @@ func TestRunAllStreamsProgressively(t *testing.T) {
 		})
 	}
 	fw := &flushWatcher{signal: streamTestGate, want: "a-output"}
-	if err := RunAll(parallelConfig(4), []string{"zz-stream-a", "zz-stream-b"}, FormatText, fw); err != nil {
+	if err := RunAll(context.Background(), parallelConfig(4), []string{"zz-stream-a", "zz-stream-b"}, FormatText, fw); err != nil {
 		t.Fatal(err)
 	}
 	got := fw.buf.String()
@@ -167,7 +168,7 @@ func (fw *flushWatcher) Write(p []byte) (int, error) {
 
 func TestRunAllUnknownID(t *testing.T) {
 	var b strings.Builder
-	err := RunAll(parallelConfig(1), []string{"fig1b", "nope"}, FormatText, &b)
+	err := RunAll(context.Background(), parallelConfig(1), []string{"fig1b", "nope"}, FormatText, &b)
 	if err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("RunAll with unknown id: err = %v", err)
 	}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,7 +26,7 @@ func TestBackToBackRunsMatchGoldens(t *testing.T) {
 		if e == nil {
 			t.Fatalf("unknown experiment %q", id)
 		}
-		r, err := e.CollectResult(cfg)
+		r, err := e.CollectResult(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("pass %d %s: %v", pass, id, err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -91,7 +92,7 @@ func TestCSVRoundTrip(t *testing.T) {
 func TestRenderEveryFormatEveryExperiment(t *testing.T) {
 	cfg := DefaultConfig()
 	for _, id := range []string{"fig4a", "fig4b", "fig5b", "fig17"} {
-		r, err := Get(id).CollectResult(cfg)
+		r, err := Get(id).CollectResult(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -223,7 +224,7 @@ func TestRunAllJSONParses(t *testing.T) {
 	var b strings.Builder
 	cfg := DefaultConfig()
 	cfg.Workers = 2
-	if err := RunAll(cfg, []string{"fig4a", "fig5b"}, FormatJSON, &b); err != nil {
+	if err := RunAll(context.Background(), cfg, []string{"fig4a", "fig5b"}, FormatJSON, &b); err != nil {
 		t.Fatal(err)
 	}
 	var got []Result
@@ -264,7 +265,7 @@ func TestJSONKeepsZeroValues(t *testing.T) {
 // not silently-text output, for a bogus Format value.
 func TestRunAllRejectsUnknownFormat(t *testing.T) {
 	var b strings.Builder
-	err := RunAll(DefaultConfig(), []string{"fig4a"}, Format("jsonl"), &b)
+	err := RunAll(context.Background(), DefaultConfig(), []string{"fig4a"}, Format("jsonl"), &b)
 	if err == nil || !strings.Contains(err.Error(), "jsonl") {
 		t.Fatalf("unknown format: err = %v", err)
 	}
@@ -285,7 +286,7 @@ func TestRunAllJSONValidOnFailure(t *testing.T) {
 		})
 	}
 	var b strings.Builder
-	err := RunAll(DefaultConfig(), []string{"fig4a", "zz-fail"}, FormatJSON, &b)
+	err := RunAll(context.Background(), DefaultConfig(), []string{"fig4a", "zz-fail"}, FormatJSON, &b)
 	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
 		t.Fatalf("err = %v", err)
 	}
@@ -302,7 +303,7 @@ func TestRunAllJSONValidOnFailure(t *testing.T) {
 // experiment, blank-line separated.
 func TestRunAllCSV(t *testing.T) {
 	var b strings.Builder
-	if err := RunAll(DefaultConfig(), []string{"fig4a", "fig5b"}, FormatCSV, &b); err != nil {
+	if err := RunAll(context.Background(), DefaultConfig(), []string{"fig4a", "fig5b"}, FormatCSV, &b); err != nil {
 		t.Fatal(err)
 	}
 	blocks := strings.Split(strings.TrimRight(b.String(), "\n"), "\n\n")

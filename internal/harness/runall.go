@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,7 +27,12 @@ import (
 // On failure every experiment still runs to completion, the output up to
 // the first failing experiment (in listing order) is written, and that
 // experiment's error is returned.
-func RunAll(cfg Config, ids []string, format Format, w io.Writer) error {
+//
+// Cancelling ctx stops every experiment's simulation jobs at the next job
+// boundary; RunAll then drains its orchestration goroutines (no leaks),
+// flushes the experiments that had already completed in listing order, and
+// returns an error wrapping ctx.Err().
+func RunAll(ctx context.Context, cfg Config, ids []string, format Format, w io.Writer) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -46,6 +52,7 @@ func RunAll(cfg Config, ids []string, format Format, w io.Writer) error {
 		}
 	}
 	cfg.pool = runner.New(cfg.Workers)
+	cfg.jobs = cfg.newJobCounter() // one cumulative counter across every experiment
 	type outcome struct {
 		buf bytes.Buffer
 		err error
@@ -56,7 +63,9 @@ func RunAll(cfg Config, ids []string, format Format, w io.Writer) error {
 		done[i] = make(chan struct{})
 		go func(i int) {
 			defer close(done[i])
-			r, err := exps[i].CollectResult(cfg)
+			cfg.emit(Event{Kind: EventExperimentStart, Experiment: exps[i].ID})
+			r, err := exps[i].CollectResult(ctx, cfg)
+			defer func() { cfg.emit(Event{Kind: EventExperimentDone, Experiment: exps[i].ID, Err: res[i].err}) }()
 			if err != nil {
 				res[i].err = err
 				if format == FormatText {

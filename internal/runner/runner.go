@@ -22,12 +22,57 @@
 //     the calling goroutine under a single acquire — no goroutines, and
 //     jobs execute in index order: Workers=1 is the reference sequential
 //     execution the parallel path is tested against.
+//  4. Prompt cancellation, bounded by one job. Cancelling the context
+//     stops new jobs from starting: workers waiting for a pool slot give
+//     the slot up and exit, and acquired slots re-check the context before
+//     running. Jobs already executing are never interrupted (a simulation
+//     does not poll the context), so Map returns within one job boundary
+//     of the cancellation, with every spawned goroutine joined — no leaks.
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
+
+// Progress serializes cumulative (done, total) job-progress notifications
+// for one fan-out call. The counter update and its notification happen
+// under one lock so the stream an observer sees is monotone: with bare
+// atomics, two workers could increment in one order and deliver their
+// callbacks in the other, making the observed counter go backwards.
+type Progress struct {
+	mu          sync.Mutex
+	fn          func(done, total int)
+	done, total int
+}
+
+// NewProgress wraps a sink (nil is allowed and makes every method a no-op).
+func NewProgress(fn func(done, total int)) *Progress {
+	return &Progress{fn: fn}
+}
+
+// Add registers n upcoming jobs and notifies the sink.
+func (p *Progress) Add(n int) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += n
+	p.fn(p.done, p.total)
+}
+
+// Step counts one finished job and notifies the sink.
+func (p *Progress) Step() {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.fn(p.done, p.total)
+}
 
 // Workers normalizes a worker-count setting: values <= 0 select
 // runtime.GOMAXPROCS(0), anything else is returned unchanged.
@@ -56,34 +101,63 @@ func (p *Pool) Size() int { return cap(p.sem) }
 // Sequential reports whether the pool runs jobs one at a time.
 func (p *Pool) Sequential() bool { return cap(p.sem) == 1 }
 
+// acquire blocks for a pool slot, giving up when the context is cancelled
+// first. It reports whether a slot was obtained.
+func (p *Pool) acquire(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	default:
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // Map runs fn(0), fn(1), …, fn(n-1) on the pool and returns their results
 // in index order regardless of completion order. fn must derive everything
 // it needs (seeds included) from its index argument, must not communicate
 // with other jobs, and must not call Map on the same pool (see the package
 // comment; nest with plain goroutines above Map instead).
-func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+//
+// Cancelling ctx stops unstarted jobs and returns ctx.Err() once every
+// in-flight job has finished; the result slice then holds zero values at
+// the indices that never ran. With a background context the execution —
+// and, for deterministic fn, the results — are identical to the historical
+// context-free Map.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) T) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	if p.Sequential() || n == 1 {
-		p.sem <- struct{}{}
+		if !p.acquire(ctx) {
+			return out, ctx.Err()
+		}
 		defer func() { <-p.sem }()
 		for i := range out {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = fn(i)
 		}
-		return out
+		return out, ctx.Err()
 	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			p.sem <- struct{}{}
+			if !p.acquire(ctx) {
+				return
+			}
 			defer func() { <-p.sem }()
 			out[i] = fn(i)
 		}(i)
 	}
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }

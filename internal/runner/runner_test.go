@@ -1,11 +1,14 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersNormalization(t *testing.T) {
@@ -29,7 +32,7 @@ func TestWorkersNormalization(t *testing.T) {
 func TestMapOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		p := New(workers)
-		got := Map(p, 100, func(i int) int { return i * i })
+		got := mapNoCtx(p, 100, func(i int) int { return i * i })
 		for i, v := range got {
 			if v != i*i {
 				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
@@ -40,10 +43,10 @@ func TestMapOrderedResults(t *testing.T) {
 
 func TestMapEmptyAndSingle(t *testing.T) {
 	p := New(4)
-	if got := Map(p, 0, func(i int) int { t.Fatal("fn called for n=0"); return 0 }); len(got) != 0 {
+	if got := mapNoCtx(p, 0, func(i int) int { t.Fatal("fn called for n=0"); return 0 }); len(got) != 0 {
 		t.Fatalf("n=0 returned %d results", len(got))
 	}
-	if got := Map(p, 1, func(i int) string { return "only" }); got[0] != "only" {
+	if got := mapNoCtx(p, 1, func(i int) string { return "only" }); got[0] != "only" {
 		t.Fatalf("n=1 result %q", got[0])
 	}
 }
@@ -77,7 +80,7 @@ func TestMapBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	p := New(workers)
 	var tp trackPeak
-	Map(p, 50, func(i int) struct{} {
+	mapNoCtx(p, 50, func(i int) struct{} {
 		tp.enter()
 		spin() // busy the slot long enough for other goroutines to pile up
 		tp.exit()
@@ -101,7 +104,7 @@ func TestConcurrentMapsShareBound(t *testing.T) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				results[g] = Map(p, 8, func(i int) int {
+				results[g] = mapNoCtx(p, 8, func(i int) int {
 					tp.enter()
 					spin()
 					tp.exit()
@@ -128,7 +131,7 @@ func TestConcurrentMapsShareBound(t *testing.T) {
 // for any pool size.
 func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 	run := func(workers int) []string {
-		return Map(New(workers), 64, func(i int) string {
+		return mapNoCtx(New(workers), 64, func(i int) string {
 			// Stand-in for "simulate with seed base+i".
 			h := uint64(i)*2654435761 + 12345
 			return fmt.Sprintf("job%d:%x", i, h)
@@ -151,7 +154,7 @@ func TestMapParallelWrites(t *testing.T) {
 	p := New(8)
 	var mu sync.Mutex
 	seen := map[int]bool{}
-	Map(p, 200, func(i int) struct{} {
+	mapNoCtx(p, 200, func(i int) struct{} {
 		mu.Lock()
 		seen[i] = true
 		mu.Unlock()
@@ -160,4 +163,80 @@ func TestMapParallelWrites(t *testing.T) {
 	if len(seen) != 200 {
 		t.Fatalf("ran %d distinct jobs, want 200", len(seen))
 	}
+}
+
+// mapNoCtx runs Map under a background context — the historical
+// context-free contract, which never errors.
+func mapNoCtx[T any](p *Pool, n int, fn func(i int) T) []T {
+	out, err := Map(context.Background(), p, n, fn)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TestMapCancellation checks the prompt-cancellation contract: cancelling
+// mid-Map stops unstarted jobs, joins in-flight ones, returns ctx.Err(),
+// and leaks no goroutines.
+func TestMapCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := New(workers)
+		var started atomic.Int64
+		before := runtime.NumGoroutine()
+		out, err := Map(ctx, p, 100, func(i int) int {
+			if started.Add(1) == 1 {
+				cancel()
+			}
+			spin()
+			return i + 1
+		})
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: result slice length %d", workers, len(out))
+		}
+		if n := started.Load(); n > int64(workers)+1 {
+			t.Fatalf("workers=%d: %d jobs started after cancellation", workers, n)
+		}
+		waitGoroutines(t, before)
+		cancel()
+	}
+}
+
+// TestMapPreCancelled checks that an already-cancelled context runs no jobs.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		out, err := Map(ctx, New(workers), 50, func(i int) int {
+			t.Error("job ran under a cancelled context")
+			return i
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		for i, v := range out {
+			if v != 0 {
+				t.Fatalf("workers=%d: result[%d] = %d, want zero value", workers, i, v)
+			}
+		}
+		waitGoroutines(t, before)
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to the baseline
+// (modulo unrelated runtime churn), failing the test on a leak.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), baseline)
 }

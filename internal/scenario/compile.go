@@ -169,11 +169,19 @@ func buildLink(s *sim.Sim, ls LinkSpec, idx, limit int) *CompiledLink {
 }
 
 // forwardHops lists the hops of one path: the per-flow access pipe, then
-// each link's loss element (if any), queue and pipe.
+// each link's loss element (if any), queue and pipe. A zero-delay path
+// builds no access pipe at all: even a 0 ms pipe reserves kernel sequence
+// numbers and defers each packet by one event, so eliding it is what lets
+// a spec reproduce a hand-wired rig (the old builder.go Simulate topology,
+// which fronts its queues with nothing) byte for byte.
 func (n *Net) forwardHops(pi int) []netem.Node {
 	ps := &n.Spec.Paths[pi]
-	hops := []netem.Node{netem.NewPipe(n.Sim, sim.Millis(ps.DelayMs), fmt.Sprintf("path%d/trim", pi))}
-	n.pipes = append(n.pipes, hops[0].(*netem.Pipe))
+	var hops []netem.Node
+	if ps.DelayMs > 0 {
+		trim := netem.NewPipe(n.Sim, sim.Millis(ps.DelayMs), fmt.Sprintf("path%d/trim", pi))
+		hops = append(hops, trim)
+		n.pipes = append(n.pipes, trim)
+	}
 	for _, li := range ps.Links {
 		l := n.Links[li]
 		if l.Loss != nil {

@@ -10,6 +10,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -149,6 +150,11 @@ type ConformanceOptions struct {
 	Seeds int
 	// Workers bounds concurrent packet runs.
 	Workers int
+	// Progress, when non-nil, receives the cumulative (done, total) case
+	// counts as the suite advances (the fixed-point check counts as one
+	// case). It is called from worker goroutines and must be safe for
+	// concurrent use.
+	Progress func(done, total int) `json:"-"`
 }
 
 func (o ConformanceOptions) fill() ConformanceOptions {
@@ -222,11 +228,11 @@ func caseFluid(c ConformanceCase) (*fluid.Model, error) {
 
 // runCase executes one comparison: seed-averaged packet runs against the
 // fluid equilibrium.
-func runCase(c ConformanceCase, opts ConformanceOptions) (ConformanceResult, error) {
+func runCase(ctx context.Context, c ConformanceCase, opts ConformanceOptions) (ConformanceResult, error) {
 	res := ConformanceResult{Case: c}
 	perPath := make([]float64, len(c.CapsMbps))
 	for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
-		rep, err := Run(caseSpec(c, opts.DurationSec, seed))
+		rep, err := Run(ctx, caseSpec(c, opts.DurationSec, seed))
 		if err != nil {
 			return res, err
 		}
@@ -267,10 +273,10 @@ func runCase(c ConformanceCase, opts ConformanceOptions) (ConformanceResult, err
 // regime where LIA visibly underperforms the optimum, so a miscoupled
 // controller or a broken fixed-point solver cannot slip through on
 // symmetry alone.
-func runFixedPoint(durationSec float64) (FixedPointCheck, error) {
+func runFixedPoint(ctx context.Context, durationSec float64) (FixedPointCheck, error) {
 	var fc FixedPointCheck
 	const n1, n2, c1, c2 = 10, 10, 1.0, 1.0
-	rep, err := Run(PaperScenarioA(n1, n2, c1, c2, "lia", 1, 5, durationSec))
+	rep, err := Run(ctx, PaperScenarioA(n1, n2, c1, c2, "lia", 1, 5, durationSec))
 	if err != nil {
 		return fc, err
 	}
@@ -294,7 +300,11 @@ func runFixedPoint(durationSec float64) (FixedPointCheck, error) {
 // RunConformance runs every conformance case plus the scenario-A
 // fixed-point check. Cases are independent simulations and run
 // concurrently on opts.Workers workers; results are merged in case order.
-func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
+//
+// Cancelling ctx stops unstarted cases at the next job boundary (running
+// cases abandon their packet runs at a one-second virtual-time boundary)
+// and returns an error wrapping ctx.Err().
+func RunConformance(ctx context.Context, opts ConformanceOptions) (*ConformanceReport, error) {
 	opts = opts.fill()
 	cases := ConformanceCases()
 	rep := &ConformanceReport{Tolerance: ShareTolerance}
@@ -303,15 +313,20 @@ func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
 		fc  FixedPointCheck
 		err error
 	}
+	progress := newProgressCounter(opts.Progress, len(cases)+1)
 	pool := runner.New(opts.Workers)
-	results := runner.Map(pool, len(cases)+1, func(i int) outcome {
+	results, err := runner.Map(ctx, pool, len(cases)+1, func(i int) outcome {
+		defer progress.Step()
 		if i == len(cases) {
-			fc, err := runFixedPoint(opts.DurationSec)
+			fc, err := runFixedPoint(ctx, opts.DurationSec)
 			return outcome{fc: fc, err: err}
 		}
-		res, err := runCase(cases[i], opts)
+		res, err := runCase(ctx, cases[i], opts)
 		return outcome{res: res, err: err}
 	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: conformance suite canceled: %w", err)
+	}
 	for i, out := range results {
 		if out.err != nil {
 			if i == len(cases) {

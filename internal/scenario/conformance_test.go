@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestConformanceSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("conformance simulations skipped in -short")
 	}
-	rep, err := RunConformance(ConformanceOptions{DurationSec: 20})
+	rep, err := RunConformance(context.Background(), ConformanceOptions{DurationSec: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestConformanceSharesWellFormed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("conformance simulations skipped in -short")
 	}
-	res, err := runCase(ConformanceCases()[0], ConformanceOptions{DurationSec: 4, Seeds: 1}.fill())
+	res, err := runCase(context.Background(), ConformanceCases()[0], ConformanceOptions{DurationSec: 4, Seeds: 1}.fill())
 	if err != nil {
 		t.Fatal(err)
 	}

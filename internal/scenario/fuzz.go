@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,6 +20,10 @@ type FuzzOptions struct {
 	// Workers bounds concurrent scenario runs (0 = all CPUs). Scenario i's
 	// outcome never depends on scheduling.
 	Workers int
+	// Progress, when non-nil, receives the cumulative (done, total)
+	// scenario counts as the campaign advances. It is called from worker
+	// goroutines and must be safe for concurrent use.
+	Progress func(done, total int) `json:"-"`
 }
 
 func (o FuzzOptions) fill() FuzzOptions {
@@ -58,7 +63,10 @@ func (r *FuzzReport) Failed() bool { return len(r.Failures) > 0 }
 // the runtime and post-run invariants (see Run), and a second time to
 // verify the run is byte-identical — same event count, same per-flow byte
 // counts, same queue counters — under the same seed.
-func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
+//
+// Cancelling ctx stops unstarted scenarios at the next job boundary and
+// returns an error wrapping ctx.Err(); the partial campaign is discarded.
+func Fuzz(ctx context.Context, opts FuzzOptions) (*FuzzReport, error) {
 	opts = opts.fill()
 	rep := &FuzzReport{N: opts.N, Seed: opts.Seed}
 	type outcome struct {
@@ -66,13 +74,18 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		flows, links int
 		failure      *FuzzFailure
 	}
+	progress := newProgressCounter(opts.Progress, opts.N)
 	pool := runner.New(opts.Workers)
-	results := runner.Map(pool, opts.N, func(i int) outcome {
+	results, err := runner.Map(ctx, pool, opts.N, func(i int) outcome {
+		defer progress.Step()
 		sp := GenSpec(opts.Seed, i)
 		var out outcome
 		out.links = len(sp.Links)
-		r1, err := Run(sp)
+		r1, err := Run(ctx, sp)
 		if err != nil {
+			if ctx.Err() != nil {
+				return out // cancelled mid-run: not an invariant failure
+			}
 			// Generated specs always validate; an error here is itself an
 			// invariant failure.
 			out.failure = &FuzzFailure{Index: i, Name: sp.Name,
@@ -82,8 +95,10 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		out.events = r1.Processed
 		out.flows = len(r1.Flows)
 		violations := r1.Violations
-		r2, err := Run(sp)
+		r2, err := Run(ctx, sp)
 		switch {
+		case err != nil && ctx.Err() != nil:
+			// cancelled mid-re-run: not an invariant failure
 		case err != nil:
 			violations = append(violations, fmt.Sprintf("re-run failed: %v", err))
 		case r1.Digest() != r2.Digest():
@@ -95,6 +110,9 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		}
 		return out
 	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: fuzz campaign canceled: %w", err)
+	}
 	for _, out := range results {
 		rep.Events += out.events
 		rep.Flows += out.flows

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -37,7 +38,7 @@ func TestFuzzCampaignClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzz campaign skipped in -short")
 	}
-	rep, err := Fuzz(FuzzOptions{N: 60, Seed: 11})
+	rep, err := Fuzz(context.Background(), FuzzOptions{N: 60, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func TestFuzzWorkerIndependence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzz campaign skipped in -short")
 	}
-	seq, err := Fuzz(FuzzOptions{N: 12, Seed: 5, Workers: 1})
+	seq, err := Fuzz(context.Background(), FuzzOptions{N: 12, Seed: 5, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fuzz(FuzzOptions{N: 12, Seed: 5, Workers: 4})
+	par, err := Fuzz(context.Background(), FuzzOptions{N: 12, Seed: 5, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

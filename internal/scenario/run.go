@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -141,7 +142,14 @@ func (m *monitor) sample(now sim.Time) {
 //
 // Violations are collected in the report rather than returned as errors so
 // a fuzzing run can report every broken invariant of a scenario at once.
-func Run(sp *Spec) (*RunReport, error) {
+//
+// Cancelling ctx abandons the simulation at the next one-second
+// virtual-time boundary and returns an error wrapping ctx.Err(). The
+// cancellation probe never perturbs the run: sim.RunUntil is exact at
+// window boundaries, so a run sliced into chunks processes the identical
+// event sequence as one uninterrupted call (and with a background context
+// the slicing is skipped entirely).
+func Run(ctx context.Context, sp *Spec) (*RunReport, error) {
 	n, err := Compile(sp)
 	if err != nil {
 		return nil, err
@@ -166,7 +174,9 @@ func Run(sp *Spec) (*RunReport, error) {
 		}
 	})
 	m.RunEvent(0) // first sample at t=0, then every samplePeriod
-	n.Sim.RunUntil(end)
+	if err := AdvanceUntil(ctx, n.Sim, 0, end); err != nil {
+		return nil, fmt.Errorf("scenario %q: run canceled: %w", sp.Name, err)
+	}
 
 	secs := sp.DurationSec
 	for i, f := range n.Flows {

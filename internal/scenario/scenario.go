@@ -59,7 +59,9 @@ type LinkSpec struct {
 type PathSpec struct {
 	// Links indexes Spec.Links in traversal order. Required, non-empty.
 	Links []int `json:"links"`
-	// DelayMs is the per-flow access pipe's one-way delay.
+	// DelayMs is the per-flow access pipe's one-way delay. Zero elides the
+	// access pipe entirely (flows enter the first link's queue directly),
+	// matching hand-wired rigs whose delay lives on the links themselves.
 	DelayMs float64 `json:"delay_ms,omitempty"`
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -102,7 +103,7 @@ func TestCompileStructure(t *testing.T) {
 }
 
 func TestRunMeasuresAndHoldsInvariants(t *testing.T) {
-	rep, err := Run(twoPathSpec())
+	rep, err := Run(context.Background(), twoPathSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +125,11 @@ func TestRunMeasuresAndHoldsInvariants(t *testing.T) {
 }
 
 func TestRunRerunIdentity(t *testing.T) {
-	a, err := Run(twoPathSpec())
+	a, err := Run(context.Background(), twoPathSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(twoPathSpec())
+	b, err := Run(context.Background(), twoPathSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestRunRerunIdentity(t *testing.T) {
 		sp := twoPathSpec()
 		sp.Seed = seed
 		sp.Flows[1].StartJitter = true
-		rep, err := Run(sp)
+		rep, err := Run(context.Background(), sp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestStopSecPausesFlow(t *testing.T) {
 		sp := twoPathSpec()
 		sp.WarmupSec, sp.DurationSec = 0.5, 3
 		sp.Flows[1].StopSec = stop
-		rep, err := Run(sp)
+		rep, err := Run(context.Background(), sp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +186,7 @@ func TestStopSecPausesFlow(t *testing.T) {
 func TestRandomLossCountsAndConserves(t *testing.T) {
 	sp := twoPathSpec()
 	sp.Links[1].LossPct = 2
-	rep, err := Run(sp)
+	rep, err := Run(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}

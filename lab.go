@@ -1,0 +1,294 @@
+package mptcpsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/harness"
+	"mptcpsim/internal/scenario"
+	"mptcpsim/internal/stats"
+)
+
+// ProgressKind enumerates the structured progress notifications a Lab
+// emits while a context-aware call runs.
+type ProgressKind int
+
+const (
+	// ProgressExperimentStarted fires when an experiment begins collecting.
+	ProgressExperimentStarted ProgressKind = iota
+	// ProgressExperimentFinished fires when an experiment completes (Err is
+	// set if it failed).
+	ProgressExperimentFinished
+	// ProgressJobs fires when the call's cumulative job counters change:
+	// simulation jobs for Collect/RunAll, scenarios for Fuzz, cases for
+	// Conform. Total grows as work is discovered, Done as workers finish.
+	ProgressJobs
+)
+
+// ProgressEvent is one structured notification from a running Lab call.
+type ProgressEvent struct {
+	// Kind is the event type.
+	Kind ProgressKind
+	// Experiment is the experiment ID, on experiment-scoped events.
+	Experiment string
+	// Err is the failure, on ProgressExperimentFinished events.
+	Err error
+	// Done and Total are the call's cumulative job counters, on
+	// ProgressJobs events.
+	Done, Total int
+}
+
+// Lab is the simulation engine behind the public API: one configured
+// instance exposing every long-running entry point as a context-aware
+// method. Construct it once with functional options, then issue calls —
+// the Lab itself is stateless between calls and safe for concurrent use;
+// cancellation is per-call via the context, and progress streaming is
+// per-Lab via WithProgress.
+//
+//	lab := mptcpsim.NewLab(
+//		mptcpsim.WithConfig(mptcpsim.FullConfig()),
+//		mptcpsim.WithWorkers(8),
+//		mptcpsim.WithProgress(func(ev mptcpsim.ProgressEvent) { ... }),
+//	)
+//	err := lab.RunAll(ctx, nil, mptcpsim.FormatText, os.Stdout)
+type Lab struct {
+	cfg      Config
+	progress func(ProgressEvent)
+	mu       sync.Mutex // serializes progress delivery
+}
+
+// Option configures a Lab at construction.
+type Option func(*Lab)
+
+// WithConfig sets the harness configuration (DefaultConfig if omitted).
+func WithConfig(cfg Config) Option {
+	return func(l *Lab) { l.cfg = cfg }
+}
+
+// WithWorkers bounds how many simulation jobs run concurrently across any
+// one call: 0 selects GOMAXPROCS, 1 forces sequential execution. Results
+// are byte-identical for any worker count.
+func WithWorkers(n int) Option {
+	return func(l *Lab) { l.cfg.Workers = n }
+}
+
+// WithSeed anchors the deterministic RNG chain every simulation job's seed
+// derives from.
+func WithSeed(seed int64) Option {
+	return func(l *Lab) { l.cfg.BaseSeed = seed }
+}
+
+// WithProgress installs a progress sink. Events are delivered serially (the
+// Lab holds a lock around fn), but from worker goroutines — fn must not
+// block and must not call back into the Lab.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(l *Lab) { l.progress = fn }
+}
+
+// NewLab builds an engine from the options, starting from DefaultConfig.
+func NewLab(opts ...Option) *Lab {
+	l := &Lab{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Config returns the Lab's effective configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// emit delivers one progress event, serialized.
+func (l *Lab) emit(ev ProgressEvent) {
+	if l.progress == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.progress(ev)
+}
+
+// jobsProgress adapts a (done, total) campaign counter to the sink.
+func (l *Lab) jobsProgress() func(done, total int) {
+	if l.progress == nil {
+		return nil
+	}
+	return func(done, total int) {
+		l.emit(ProgressEvent{Kind: ProgressJobs, Done: done, Total: total})
+	}
+}
+
+// instrumented returns the Lab's config with the progress bridge installed.
+func (l *Lab) instrumented() Config {
+	cfg := l.cfg
+	if l.progress != nil {
+		harness.SetProgress(&cfg, func(ev harness.Event) {
+			switch ev.Kind {
+			case harness.EventExperimentStart:
+				l.emit(ProgressEvent{Kind: ProgressExperimentStarted, Experiment: ev.Experiment})
+			case harness.EventExperimentDone:
+				// Classify before emitting so sinks can errors.Is-match the
+				// event's Err exactly like the method's returned error.
+				l.emit(ProgressEvent{Kind: ProgressExperimentFinished, Experiment: ev.Experiment,
+					Err: classify("collect", ev.Experiment, ev.Err)})
+			case harness.EventJobs:
+				l.emit(ProgressEvent{Kind: ProgressJobs, Done: ev.JobsDone, Total: ev.JobsTotal})
+			}
+		})
+	}
+	return cfg
+}
+
+// validConfig tags a rejected configuration with ErrInvalidConfig.
+func (l *Lab) validConfig(op string) error {
+	if err := l.cfg.Validate(); err != nil {
+		return apiErr(op, "", ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// Collect regenerates one table or figure by ID (e.g. "fig9", "table3")
+// and returns its structured Result. Independent simulation jobs (sweep
+// points × seeds) run concurrently on the Lab's worker budget; the Result
+// is identical for any worker count. Cancelling ctx stops the collection
+// at the next job boundary with an ErrCanceled error.
+func (l *Lab) Collect(ctx context.Context, id string) (*Result, error) {
+	const op = "collect"
+	e := harness.Get(id)
+	if e == nil {
+		return nil, apiErr(op, id, ErrUnknownExperiment, knownExperimentsErr())
+	}
+	if err := l.validConfig(op); err != nil {
+		return nil, err
+	}
+	l.emit(ProgressEvent{Kind: ProgressExperimentStarted, Experiment: id})
+	r, err := e.CollectResult(ctx, l.instrumented())
+	err = classify(op, id, err)
+	l.emit(ProgressEvent{Kind: ProgressExperimentFinished, Experiment: id, Err: err})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunAll regenerates the experiments with the given IDs — the full
+// registry in paper order when ids is empty — writing each experiment's
+// rendered result to w in listing order: text streams banner+table per
+// experiment, json one array of Result objects, csv one
+// blank-line-separated block per experiment. All experiments share one
+// pool of workers and the bytes are identical to running them one at a
+// time at any worker count. Cancelling ctx stops every experiment at the
+// next simulation-job boundary, flushes the experiments that already
+// completed, and returns an ErrCanceled error.
+func (l *Lab) RunAll(ctx context.Context, ids []string, format Format, w io.Writer) error {
+	const op = "run-all"
+	if _, err := ParseFormat(string(format)); err != nil {
+		return apiErr(op, "", ErrInvalidConfig, err)
+	}
+	if err := l.validConfig(op); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if harness.Get(id) == nil {
+			return apiErr(op, id, ErrUnknownExperiment, knownExperimentsErr())
+		}
+	}
+	return classify(op, "", harness.RunAll(ctx, l.instrumented(), ids, format, w))
+}
+
+// Run validates, compiles and executes a declarative scenario, measuring
+// goodput over [Warmup, Warmup+Duration] and checking the
+// packet-conservation, capacity, monotonicity and queue-bound invariants.
+// Cancelling ctx abandons the simulation at a one-second virtual-time
+// boundary with an ErrCanceled error.
+func (l *Lab) Run(ctx context.Context, spec ScenarioSpec) (*ScenarioReport, error) {
+	const op = "run"
+	if err := spec.Validate(); err != nil {
+		return nil, apiErr(op, spec.Name, ErrInvalidSpec, err)
+	}
+	rep, err := scenario.Run(ctx, &spec)
+	if err != nil {
+		return nil, classify(op, spec.Name, err)
+	}
+	return rep, nil
+}
+
+// Fuzz generates opts.N seeded random scenarios and runs each twice: once
+// under the full invariant suite and once more to verify the run is
+// byte-identical. The campaign is deterministic per seed; any failure
+// replays from its index alone. A zero opts.Workers inherits the Lab's
+// worker budget. Cancelling ctx stops the campaign at the next scenario
+// boundary with an ErrCanceled error.
+func (l *Lab) Fuzz(ctx context.Context, opts FuzzOptions) (*FuzzReport, error) {
+	const op = "fuzz"
+	if opts.Workers == 0 {
+		opts.Workers = l.cfg.Workers
+	}
+	if opts.Progress == nil {
+		opts.Progress = l.jobsProgress()
+	}
+	rep, err := scenario.Fuzz(ctx, opts)
+	if err != nil {
+		return nil, classify(op, "", err)
+	}
+	return rep, nil
+}
+
+// Conform cross-checks the packet-level simulator against the paper's
+// fluid model and fixed points: on 3- and 4-path topologies the
+// steady-state per-path goodput shares of OLIA, LIA and uncoupled
+// multipath flows must match the fluid equilibrium within the documented
+// tolerance, and a scenario-A run must match the Appendix-A LIA fixed
+// point. A zero opts.Workers inherits the Lab's worker budget. Cancelling
+// ctx stops the suite at the next case boundary with an ErrCanceled error.
+func (l *Lab) Conform(ctx context.Context, opts ConformanceOptions) (*ConformanceReport, error) {
+	const op = "conform"
+	if opts.Workers == 0 {
+		opts.Workers = l.cfg.Workers
+	}
+	if opts.Progress == nil {
+		opts.Progress = l.jobsProgress()
+	}
+	rep, err := scenario.RunConformance(ctx, opts)
+	if err != nil {
+		return nil, classify(op, "", err)
+	}
+	return rep, nil
+}
+
+// Analyze evaluates the paper's loss-throughput fixed points for a user
+// with the given per-path loss probabilities and RTTs (seconds), without
+// simulation. MSS is 1500 B.
+func (l *Lab) Analyze(loss, rtts []float64) (TwoPathAnalysis, error) {
+	const op = "analyze"
+	if len(loss) != len(rtts) || len(loss) == 0 {
+		return TwoPathAnalysis{}, apiErr(op, "", ErrInvalidSpec,
+			fmt.Errorf("need matching non-empty loss and rtt slices (%d vs %d)", len(loss), len(rtts)))
+	}
+	for i := range loss {
+		if loss[i] <= 0 || rtts[i] <= 0 {
+			return TwoPathAnalysis{}, apiErr(op, "", ErrInvalidSpec,
+				fmt.Errorf("loss and rtt must be positive (path %d: p=%g rtt=%g)", i, loss[i], rtts[i]))
+		}
+	}
+	var out TwoPathAnalysis
+	var best float64
+	for i := range loss {
+		if r := core.TCPRate(loss[i], rtts[i]); r > best {
+			best = r
+		}
+	}
+	out.TCPBestMbps = stats.PktsPerSecMbps(best)
+	for _, r := range core.LIARates(loss, rtts) {
+		out.LIAMbps = append(out.LIAMbps, stats.PktsPerSecMbps(r))
+	}
+	for _, r := range core.OLIARates(loss, rtts) {
+		out.OLIAMbps = append(out.OLIAMbps, stats.PktsPerSecMbps(r))
+	}
+	return out, nil
+}
+
+// knownExperimentsErr lists the registry for unknown-experiment errors.
+func knownExperimentsErr() error { return fmt.Errorf("have %v", harness.IDs()) }

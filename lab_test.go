@@ -1,0 +1,378 @@
+package mptcpsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mptcpsim/internal/sim"
+)
+
+// quickCfg is a fast-but-real configuration for cancellation tests: many
+// short simulation jobs.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 2 * sim.Second
+	cfg.Warmup = 200 * sim.Millisecond
+	cfg.DCDuration = 500 * sim.Millisecond
+	cfg.DCWarmup = 100 * sim.Millisecond
+	cfg.Seeds = 3
+	return cfg
+}
+
+// waitGoroutines polls until the goroutine count settles back to the
+// baseline, failing on a leak.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), baseline)
+}
+
+// TestLabRunAllCancelMidFlight pins the cancellation contract: cancelling
+// mid-RunAll stops the run at the next job boundary, returns an error
+// matching both ErrCanceled and context.Canceled, and leaks no goroutines.
+func TestLabRunAllCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var jobsDone, jobsTotal atomic.Int64
+	lab := NewLab(WithConfig(quickCfg()), WithWorkers(2), WithProgress(func(ev ProgressEvent) {
+		if ev.Kind == ProgressJobs {
+			jobsDone.Store(int64(ev.Done))
+			jobsTotal.Store(int64(ev.Total))
+			if ev.Done >= 1 {
+				cancel() // cancel as soon as the first job completes
+			}
+		}
+	}))
+	var buf bytes.Buffer
+	err := lab.RunAll(ctx, []string{"fig1b", "fig1c", "fig9"}, FormatText, &buf)
+	if err == nil {
+		t.Fatal("cancelled RunAll returned nil error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled in chain", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	var apiError *Error
+	if !errors.As(err, &apiError) || apiError.Op != "run-all" {
+		t.Fatalf("err = %#v, want *Error with Op run-all", err)
+	}
+	// Within one job boundary: with 2 workers, at most the jobs already
+	// in flight at cancellation finish — nowhere near the full sweep.
+	if done, total := jobsDone.Load(), jobsTotal.Load(); total > 0 && done >= total {
+		t.Fatalf("all %d jobs ran despite cancellation after the first", total)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestLabFuzzCancelMidFlight is the same contract for Lab.Fuzz.
+func TestLabFuzzCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	lab := NewLab(WithWorkers(2), WithProgress(func(ev ProgressEvent) {
+		if ev.Kind == ProgressJobs {
+			done.Store(int64(ev.Done))
+			if ev.Done >= 1 {
+				cancel()
+			}
+		}
+	}))
+	_, err := lab.Fuzz(ctx, FuzzOptions{N: 100, Seed: 7})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if n := done.Load(); n >= 100 {
+		t.Fatalf("all %d scenarios ran despite cancellation after the first", n)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestLabPreCancelled checks every context-aware method rejects an
+// already-cancelled context without doing work.
+func TestLabPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lab := NewLab(WithConfig(quickCfg()))
+	if _, err := lab.Collect(ctx, "fig1b"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Collect: %v", err)
+	}
+	if err := lab.RunAll(ctx, nil, FormatText, &bytes.Buffer{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if _, err := lab.Run(ctx, validSpec()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := lab.Fuzz(ctx, FuzzOptions{N: 3}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Fuzz: %v", err)
+	}
+	if _, err := lab.Conform(ctx, ConformanceOptions{DurationSec: 1, Seeds: 1}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Conform: %v", err)
+	}
+	if _, err := lab.Simulate(ctx, Scenario{Paths: []Path{{RateMbps: 5}}, DurationSec: 2}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Simulate: %v", err)
+	}
+}
+
+func validSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Name: "t", Seed: 1, WarmupSec: 0.2, DurationSec: 1,
+		Links: []ScenarioLink{{RateMbps: 2}},
+		Paths: []ScenarioPath{{Links: []int{0}, DelayMs: 10}},
+		Flows: []ScenarioFlow{{Algorithm: "olia", Paths: []int{0}}},
+	}
+}
+
+// TestLabCompletedThenCancelled: cancelling after a run completed must not
+// have affected its output.
+func TestLabCompletedThenCancelled(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seeds = 1
+	ids := []string{"fig1b"}
+	var plain bytes.Buffer
+	if err := NewLab(WithConfig(cfg)).RunAll(context.Background(), ids, FormatText, &plain); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var late bytes.Buffer
+	err := NewLab(WithConfig(cfg)).RunAll(ctx, ids, FormatText, &late)
+	cancel() // after completion
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != late.String() {
+		t.Fatal("output differs between plain and completed-then-cancelled runs")
+	}
+}
+
+// TestTypedErrors pins the errors.Is/As-matchable family at the boundary.
+func TestTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	lab := NewLab()
+
+	_, err := lab.Collect(ctx, "nope")
+	if !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("Collect unknown: %v", err)
+	}
+	var apiError *Error
+	if !errors.As(err, &apiError) || apiError.ID != "nope" || apiError.Op != "collect" {
+		t.Fatalf("Collect unknown: %#v", err)
+	}
+	if err := lab.RunAll(ctx, []string{"nope"}, FormatText, &bytes.Buffer{}); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("RunAll unknown: %v", err)
+	}
+	if err := lab.RunAll(ctx, nil, Format("bogus"), &bytes.Buffer{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("RunAll bad format: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Workers = -1
+	if _, err := NewLab(WithConfig(bad)).Collect(ctx, "fig1b"); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Collect bad config: %v", err)
+	}
+	if _, err := lab.Run(ctx, ScenarioSpec{DurationSec: 1}); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("Run bad spec: %v", err)
+	}
+	if _, err := lab.Simulate(ctx, Scenario{}); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("Simulate bad scenario: %v", err)
+	}
+	if _, err := lab.Analyze([]float64{0.1}, []float64{0.1, 0.2}); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("Analyze bad input: %v", err)
+	}
+}
+
+// TestDeprecatedWrappersByteIdentical proves every deprecated free
+// function produces byte-identical output to its Lab equivalent.
+func TestDeprecatedWrappersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	ctx := context.Background()
+	cfg := quickCfg()
+	cfg.Seeds = 1
+	lab := NewLab(WithConfig(cfg))
+	ids := []string{"fig1b", "fig17"}
+
+	t.Run("RunAllFormat", func(t *testing.T) {
+		var a, b bytes.Buffer
+		if err := RunAllFormat(ids, cfg, FormatJSON, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := lab.RunAll(ctx, ids, FormatJSON, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatal("RunAllFormat output differs from Lab.RunAll")
+		}
+	})
+	t.Run("RunAll", func(t *testing.T) {
+		var a, b bytes.Buffer
+		if err := RunAll(ids, cfg, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := lab.RunAll(ctx, ids, FormatText, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatal("RunAll output differs from Lab.RunAll")
+		}
+	})
+	t.Run("CollectExperiment", func(t *testing.T) {
+		ra, err := CollectExperiment("fig1b", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := lab.Collect(ctx, "fig1b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(ra)
+		jb, _ := json.Marshal(rb)
+		if !bytes.Equal(ja, jb) {
+			t.Fatal("CollectExperiment result differs from Lab.Collect")
+		}
+	})
+	t.Run("RunExperiment", func(t *testing.T) {
+		var a, b strings.Builder
+		if err := RunExperiment("fig17", cfg, &a); err != nil {
+			t.Fatal(err)
+		}
+		r, err := lab.Collect(ctx, "fig17")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderResult(r, FormatText, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatal("RunExperiment output differs from Lab.Collect + RenderResult")
+		}
+	})
+	t.Run("Simulate", func(t *testing.T) {
+		sc := Scenario{
+			Algorithm:   "olia",
+			Paths:       []Path{{RateMbps: 10, BackgroundTCP: 3}, {RateMbps: 10, BackgroundTCP: 6}},
+			DurationSec: 5, Seed: 2,
+		}
+		ra, err := Simulate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := lab.Simulate(ctx, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("Simulate differs from Lab.Simulate:\n%+v\n%+v", ra, rb)
+		}
+	})
+	t.Run("RunScenario", func(t *testing.T) {
+		ra, err := RunScenario(validSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := lab.Run(ctx, validSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Digest() != rb.Digest() {
+			t.Fatal("RunScenario digest differs from Lab.Run")
+		}
+	})
+	t.Run("FuzzScenarios", func(t *testing.T) {
+		ra, err := FuzzScenarios(FuzzOptions{N: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := lab.Fuzz(ctx, FuzzOptions{N: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(ra)
+		jb, _ := json.Marshal(rb)
+		if !bytes.Equal(ja, jb) {
+			t.Fatal("FuzzScenarios report differs from Lab.Fuzz")
+		}
+	})
+	t.Run("AnalyzeTwoPath", func(t *testing.T) {
+		ra, err := AnalyzeTwoPath([]float64{0.01, 0.04}, []float64{0.1, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := lab.Analyze([]float64{0.01, 0.04}, []float64{0.1, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatal("AnalyzeTwoPath differs from Lab.Analyze")
+		}
+	})
+}
+
+// TestLabProgressEvents pins the progress stream's shape for a collection:
+// a start event, monotone job counters reaching done == total, and a
+// finished event.
+func TestLabProgressEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	cfg := quickCfg()
+	cfg.Seeds = 1
+	var events []ProgressEvent
+	lab := NewLab(WithConfig(cfg), WithProgress(func(ev ProgressEvent) {
+		events = append(events, ev) // serialized by the Lab
+	}))
+	if _, err := lab.Collect(context.Background(), "fig1b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	if events[0].Kind != ProgressExperimentStarted || events[0].Experiment != "fig1b" {
+		t.Fatalf("first event %+v", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Kind != ProgressExperimentFinished || last.Err != nil {
+		t.Fatalf("last event %+v", last)
+	}
+	prevDone := -1
+	var finalDone, finalTotal int
+	for _, ev := range events {
+		if ev.Kind != ProgressJobs {
+			continue
+		}
+		if ev.Done < prevDone {
+			t.Fatalf("job counter went backwards: %d after %d", ev.Done, prevDone)
+		}
+		if ev.Done > ev.Total {
+			t.Fatalf("done %d exceeds total %d", ev.Done, ev.Total)
+		}
+		prevDone = ev.Done
+		finalDone, finalTotal = ev.Done, ev.Total
+	}
+	if finalTotal == 0 || finalDone != finalTotal {
+		t.Fatalf("jobs ended at %d/%d", finalDone, finalTotal)
+	}
+}
