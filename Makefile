@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race check apicheck examples conform conform-smoke bench bench-tables clean
+.PHONY: build vet fmt-check test race check lint apicheck examples conform conform-smoke bench bench-tables clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet fmt-check race apicheck
+check: build vet fmt-check lint race apicheck
+
+# Repository-specific static analysis (internal/lint via cmd/simlint):
+# determinism (no wall clock / global rand / goroutines / order-sensitive
+# map ranges in sim packages), poolsafety (packet/event ownership
+# lifecycle), hotpathalloc (no closure timers, boxing, or unpreallocated
+# appends in per-packet paths). Suppressions: //simlint:ignore <analyzer>
+# <reason>; unused or reason-less suppressions are themselves findings.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 # API-surface lock: regenerate api.txt (the exported declarations of the
 # root package, via cmd/apilock) and fail on drift from the committed

@@ -1,0 +1,186 @@
+// Command simlint runs the repository's static analyzers — determinism,
+// poolsafety, hotpathalloc — over the module and reports findings.
+//
+// Usage:
+//
+//	go run ./cmd/simlint [-json] ./...
+//	go run ./cmd/simlint ./internal/netem ./internal/tcp
+//
+// Patterns are package directories relative to the module root; the single
+// pattern ./... expands to every package in the module. Findings print as
+//
+//	internal/tcp/tcp.go:42:7: wall-clock time.Now in simulation code; ... (determinism)
+//
+// or, with -json, as a JSON array of {analyzer, file, line, col, message}
+// objects. Exit status is 0 when clean, 1 when there are findings, and 2
+// on a load or internal error.
+//
+// Findings are suppressed with a //simlint:ignore <analyzer> <reason>
+// comment on the finding's line or the line above; the reason is
+// mandatory, and suppressions that match nothing are themselves findings.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mptcpsim/internal/lint"
+	"mptcpsim/internal/lint/determinism"
+	"mptcpsim/internal/lint/hotpathalloc"
+	"mptcpsim/internal/lint/loader"
+	"mptcpsim/internal/lint/poolsafety"
+)
+
+var analyzers = []*lint.Analyzer{
+	determinism.Analyzer,
+	hotpathalloc.Analyzer,
+	poolsafety.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] <patterns>\n\npatterns: ./... or package directories relative to the module root\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(run(*jsonOut, flag.Args()))
+}
+
+func run(jsonOut bool, patterns []string) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+
+	root, modulePath, err := findModule()
+	if err != nil {
+		return fail(err)
+	}
+	paths, err := expand(root, modulePath, patterns)
+	if err != nil {
+		return fail(err)
+	}
+
+	prog := loader.NewProgram(loader.Config{ModulePath: modulePath, ModuleRoot: root})
+	pkgs, err := prog.Load(paths...)
+	if err != nil {
+		return fail(err)
+	}
+	diags, err := lint.Run(prog, pkgs, analyzers)
+	if err != nil {
+		return fail(err)
+	}
+
+	cwd, _ := os.Getwd()
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModule locates go.mod upward from the working directory and returns
+// the module root and path.
+func findModule() (root, modulePath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if mp, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(mp), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand turns command-line patterns into module import paths.
+func expand(root, modulePath string, patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." || pat == modulePath+"/..." {
+			all, err := loader.ModulePackages(root, modulePath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+			continue
+		}
+		if strings.HasPrefix(pat, modulePath) {
+			add(pat)
+			continue
+		}
+		// A directory: resolve against the module root.
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			cwd, err := os.Getwd()
+			if err != nil {
+				return nil, err
+			}
+			abs = filepath.Join(cwd, pat)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside module %s", pat, modulePath)
+		}
+		if rel == "." {
+			add(modulePath)
+		} else {
+			add(modulePath + "/" + filepath.ToSlash(rel))
+		}
+	}
+	return out, nil
+}

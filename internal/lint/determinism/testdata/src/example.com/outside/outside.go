@@ -1,0 +1,10 @@
+// Package outside is not a simulation package, so the determinism
+// analyzer must not run here at all: wall-clock reads are fine in
+// harness/tooling code.
+package outside
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // no finding: out of scope
+}

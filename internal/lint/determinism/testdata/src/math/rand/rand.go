@@ -1,0 +1,23 @@
+// Package rand is a hermetic stub shadowing math/rand for determinism
+// analyzer tests.
+package rand
+
+type Source interface {
+	Int63() int64
+}
+
+type Rand struct{}
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func (r *Rand) Float64() float64 { return 0 }
+
+func New(src Source) *Rand { return &Rand{} }
+
+func NewSource(seed int64) Source { return nil }
+
+func Intn(n int) int { return 0 }
+
+func Float64() float64 { return 0 }
+
+func Shuffle(n int, swap func(i, j int)) {}

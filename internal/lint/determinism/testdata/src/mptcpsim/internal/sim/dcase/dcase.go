@@ -1,0 +1,102 @@
+// Package dcase exercises the determinism analyzer; its import path sits
+// under mptcpsim/internal/sim so AppliesTo puts it in scope.
+package dcase
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func wallSleep(d time.Duration) {
+	time.Sleep(d) // want `wall-clock time.Sleep`
+}
+
+func wallClockOK() time.Time {
+	return time.Unix(0, 0) // pure constructor, not banned
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source \(rand.Intn\)`
+}
+
+func globalShuffle(xs []int) {
+	// A function value, not just a call, is already a leak.
+	f := rand.Shuffle // want `global math/rand source \(rand.Shuffle\)`
+	f(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func seededOK(r *rand.Rand) float64 {
+	return r.Float64() + float64(r.Intn(10)) // methods on a seeded source
+}
+
+func constructorOK() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func spawn() {
+	go wallClockOK() // want `goroutine spawned`
+}
+
+func spawnLit() {
+	go func() {}() // want `goroutine spawned`
+}
+
+func mapSum(m map[string]int) int {
+	total := 0
+	count := 0
+	for _, v := range m { // commutative accumulation: order-insensitive
+		total += v
+		count++
+	}
+	return total / max(count, 1)
+}
+
+func mapKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: append to self is fine
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src { // per-key writes into another map commute
+		dst[k] = v
+	}
+}
+
+func mapLast(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want `range over map`
+		last = v
+	}
+	return last
+}
+
+func mapCall(m map[string]int) {
+	for _, v := range m { // want `range over map`
+		observe(v)
+	}
+}
+
+func mapSuppressed(m map[string]int) int {
+	last := 0
+	//simlint:ignore determinism any entry is an acceptable witness here
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+func observe(v int) {}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+// Package time is a hermetic stub shadowing the standard library for
+// determinism analyzer tests.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return 0 }
+
+func Sleep(d Duration) {}
+
+func Unix(sec, nsec int64) Time { return Time{} }

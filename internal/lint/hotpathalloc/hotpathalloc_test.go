@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"mptcpsim/internal/lint/hotpathalloc"
+	"mptcpsim/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", "hotcase", hotpathalloc.Analyzer)
+}

@@ -1,0 +1,18 @@
+// Package sim is a hermetic stub shadowing the real kernel for
+// hotpathalloc analyzer tests: the closure conveniences At/After and the
+// zero-alloc Schedule alternative.
+package sim
+
+type Time int64
+
+type Handler interface {
+	RunEvent(now Time)
+}
+
+type Sim struct{}
+
+func (s *Sim) At(t Time, fn func(now Time)) {}
+
+func (s *Sim) After(d Time, fn func(now Time)) {}
+
+func (s *Sim) Schedule(t Time, h Handler) {}

@@ -1,0 +1,261 @@
+// Package loader loads and type-checks Go packages entirely from source,
+// with no network, no module cache, and no external dependencies. It exists
+// because the simlint analyzers need full type information
+// (golang.org/x/tools/go/packages is not vendored here), and the standard
+// library already contains everything required: go/build resolves package
+// directories and build-constraint-filtered file lists, go/parser parses
+// them, and go/types checks them against imports that this loader resolves
+// recursively.
+//
+// Resolution order for an import path:
+//  1. the module itself (Config.ModulePath / ModuleRoot),
+//  2. GOPATH-style source roots (Config.SrcRoots, used by linttest for
+//     testdata packages laid out as testdata/src/<import path>),
+//  3. the standard library under GOROOT.
+//
+// Module and SrcRoots packages are checked with full function bodies and a
+// populated types.Info; standard-library packages are checked with
+// IgnoreFuncBodies, which is sufficient for their exported API and keeps
+// whole-module loads fast.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config tells a Program where source code lives.
+type Config struct {
+	// ModulePath is the module's import-path prefix (e.g. "mptcpsim");
+	// empty disables module resolution.
+	ModulePath string
+	// ModuleRoot is the absolute directory containing the module's go.mod.
+	ModuleRoot string
+	// SrcRoots are GOPATH-style roots: an import path p resolves to
+	// <root>/src/<p> if that directory contains Go files. Consulted before
+	// GOROOT, so tests can shadow standard-library packages with stubs.
+	SrcRoots []string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the checked package object.
+	Types *types.Package
+	// Info holds full type information for module and SrcRoots packages;
+	// it is nil for standard-library imports.
+	Info *types.Info
+}
+
+// Program owns a shared FileSet and a memoized package graph.
+type Program struct {
+	Fset *token.FileSet
+
+	cfg  Config
+	ctx  build.Context
+	pkgs map[string]*entry
+}
+
+type entry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewProgram returns an empty program for the given configuration.
+func NewProgram(cfg Config) *Program {
+	ctx := build.Default
+	// Cgo files cannot be type-checked from source; the pure-Go fallbacks
+	// (net, os/user, ...) can.
+	ctx.CgoEnabled = false
+	return &Program{
+		Fset: token.NewFileSet(),
+		cfg:  cfg,
+		ctx:  ctx,
+		pkgs: make(map[string]*entry),
+	}
+}
+
+// Load loads each import path (and, transitively, everything it imports)
+// and returns the packages in argument order.
+func (pr *Program) Load(paths ...string) ([]*Package, error) {
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := pr.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Import implements types.Importer.
+func (pr *Program) Import(path string) (*types.Package, error) {
+	pkg, err := pr.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// ImportFrom implements types.ImporterFrom; the source directory is
+// irrelevant because resolution is purely path-based.
+func (pr *Program) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return pr.Import(path)
+}
+
+func (pr *Program) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	if e, ok := pr.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &entry{loading: true}
+	pr.pkgs[path] = e
+	e.pkg, e.err = pr.loadUncached(path)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+func (pr *Program) loadUncached(path string) (*Package, error) {
+	dir, local, err := pr.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := pr.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(pr.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if local {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:         pr,
+		FakeImportC:      true,
+		IgnoreFuncBodies: !local,
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, pr.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, errs[0])
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// resolve maps an import path to a directory and reports whether the
+// package gets full-fidelity checking (module or SrcRoots origin).
+func (pr *Program) resolve(path string) (dir string, local bool, err error) {
+	if mp := pr.cfg.ModulePath; mp != "" {
+		if path == mp {
+			return pr.cfg.ModuleRoot, true, nil
+		}
+		if rest, ok := strings.CutPrefix(path, mp+"/"); ok {
+			return filepath.Join(pr.cfg.ModuleRoot, filepath.FromSlash(rest)), true, nil
+		}
+	}
+	for _, root := range pr.cfg.SrcRoots {
+		d := filepath.Join(root, "src", filepath.FromSlash(path))
+		if hasGoFiles(d) {
+			return d, true, nil
+		}
+	}
+	bp, err := pr.ctx.Import(path, "", build.FindOnly)
+	if err != nil {
+		return "", false, fmt.Errorf("cannot resolve import %q: %w", path, err)
+	}
+	return bp.Dir, false, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// ModulePackages walks the module tree under root and returns the import
+// paths of every buildable package, sorted. Directories named "testdata",
+// hidden directories, and directories without non-test Go files are
+// skipped — the same shape `go list ./...` would produce.
+func ModulePackages(root, modulePath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+				continue
+			}
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				out = append(out, modulePath)
+			} else {
+				out = append(out, modulePath+"/"+filepath.ToSlash(rel))
+			}
+			break
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

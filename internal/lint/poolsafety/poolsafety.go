@@ -1,0 +1,702 @@
+// Package poolsafety implements the simlint analyzer that encodes the
+// pooled-object ownership contract documented in internal/netem/packet.go:
+// packets (and kernel events) are recycled through per-Sim free lists, so a
+// pointer's lifetime ends at exactly one ownership claim — a Free by its
+// terminal owner, a handoff (SendOn, or being passed to a Recv/Retain
+// call), or a store into a container that outlives the handler. A second
+// claim, or any use after Free, aliases a recycled object: the runtime
+// guards catch some of these dynamically (and only on paths a test
+// happens to execute); this analyzer rejects them at build time.
+//
+// The analysis is an intraprocedural, flow-sensitive abstract
+// interpretation: each local of a pooled pointer type carries a set of
+// possible ownership states, branches are explored independently and
+// merged by union (branches that terminate — return, panic, break — do not
+// merge back, so `if done { p.Free(); return }` followed by a final
+// p.Free() is clean), and a claim is reported if it conflicts with any
+// state the variable may be in, i.e. "along a path". Aliasing through
+// composite literals, address-taking, closures, or goroutines makes the
+// variable untracked rather than guessed at; calls that merely receive the
+// pointer are assumed to borrow it. Loop bodies are analyzed once, so
+// claims conflicting only across iterations of the same loop are out of
+// scope.
+package poolsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mptcpsim/internal/lint"
+)
+
+// Analyzer is the pool-lifecycle checker.
+var Analyzer = &lint.Analyzer{
+	Name: "poolsafety",
+	Doc:  "report use-after-Free, double-Free, and conflicting ownership claims (Free/SendOn/store) on pool-managed packets and events",
+	Run:  run,
+}
+
+// pooled lists the pool-managed types by (package path, type name).
+var pooled = map[[2]string]bool{
+	{"mptcpsim/internal/netem", "Packet"}: true,
+	{"mptcpsim/internal/sim", "Event"}:    true,
+}
+
+// handoffCallees are callee names that take ownership of a pooled pointer
+// argument: Recv per the routing contract ("ownership transfers with each
+// Recv call"), Retain by convention for explicit keep-alive.
+var handoffCallees = map[string]bool{"Recv": true, "Retain": true}
+
+// state is a bitset of the ownership facts that may hold for a variable at
+// a program point; branch merges union them.
+type state uint8
+
+const (
+	stOwned  state = 1 << iota // holds the live, unclaimed pointer
+	stFreed                    // Free was called on some path
+	stMoved                    // handed off (SendOn / Recv / Retain) on some path
+	stStored                   // stored into an outliving container on some path
+)
+
+// varFacts carries a variable's possible states plus the position of the
+// claim that produced each non-owned state, for the report text.
+type varFacts struct {
+	st       state
+	freedAt  token.Pos
+	movedAt  token.Pos
+	storedAt token.Pos
+}
+
+type env map[*types.Var]*varFacts
+
+// newEnv exists because several methods name their parameter env,
+// shadowing the type inside their bodies.
+func newEnv() env { return make(env) }
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	remap := make(map[*varFacts]*varFacts, len(e))
+	for v, f := range e {
+		nf, ok := remap[f]
+		if !ok {
+			cp := *f
+			nf = &cp
+			remap[f] = nf // aliased variables keep sharing after a clone
+		}
+		out[v] = nf
+	}
+	return out
+}
+
+// merge unions the states of two reachable predecessors.
+func (e env) merge(o env) {
+	for v, f := range o {
+		cur, ok := e[v]
+		if !ok {
+			cp := *f
+			e[v] = &cp
+			continue
+		}
+		cur.st |= f.st
+		if cur.freedAt == token.NoPos {
+			cur.freedAt = f.freedAt
+		}
+		if cur.movedAt == token.NoPos {
+			cur.movedAt = f.movedAt
+		}
+		if cur.storedAt == token.NoPos {
+			cur.storedAt = f.storedAt
+		}
+	}
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					analyzeFunc(pass, n.Type, n.Recv, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				// Literals are analyzed as functions in their own right;
+				// captured outer pooled vars are simply untracked there.
+				analyzeFunc(pass, n.Type, nil, n.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *lint.Pass
+}
+
+func analyzeFunc(pass *lint.Pass, ft *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	e := make(env)
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok && c.pooledPtr(v.Type()) {
+					e[v] = &varFacts{st: stOwned}
+				}
+			}
+		}
+	}
+	seed(recv)
+	seed(ft.Params)
+	c.block(body, e)
+}
+
+func (c *checker) pooledPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pooled[[2]string{named.Obj().Pkg().Path(), named.Obj().Name()}]
+}
+
+// tracked resolves an expression to a tracked variable, seeing through
+// parentheses.
+func (c *checker) tracked(e ast.Expr, env env) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = c.pass.Info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if _, yes := env[v]; !yes {
+		return nil
+	}
+	return v
+}
+
+// --- claims ---
+
+func (c *checker) use(v *types.Var, f *varFacts, pos token.Pos) {
+	if f.st&stFreed != 0 {
+		c.pass.Reportf(pos, "use of %s after Free (freed at %s) on some path", v.Name(), c.line(f.freedAt))
+	} else if f.st&stMoved != 0 {
+		c.pass.Reportf(pos, "use of %s after ownership handoff (at %s) on some path", v.Name(), c.line(f.movedAt))
+	}
+}
+
+func (c *checker) free(v *types.Var, f *varFacts, pos token.Pos) {
+	switch {
+	case f.st&stFreed != 0:
+		c.pass.Reportf(pos, "%s freed twice along a path (previous Free at %s)", v.Name(), c.line(f.freedAt))
+	case f.st&stMoved != 0:
+		c.pass.Reportf(pos, "Free of %s after ownership handoff (at %s); the new owner frees it", v.Name(), c.line(f.movedAt))
+	case f.st&stStored != 0:
+		c.pass.Reportf(pos, "Free of %s after it was stored (at %s); the container now owns the pointer", v.Name(), c.line(f.storedAt))
+	}
+	f.st = stFreed
+	f.freedAt = pos
+}
+
+func (c *checker) move(v *types.Var, f *varFacts, pos token.Pos, how string) {
+	switch {
+	case f.st&stFreed != 0:
+		c.pass.Reportf(pos, "%s of %s after Free (freed at %s)", how, v.Name(), c.line(f.freedAt))
+	case f.st&stMoved != 0:
+		c.pass.Reportf(pos, "%s handed off twice along a path (previous handoff at %s)", v.Name(), c.line(f.movedAt))
+	case f.st&stStored != 0:
+		c.pass.Reportf(pos, "%s of %s after it was stored (at %s); the container owns the pointer", how, v.Name(), c.line(f.storedAt))
+	}
+	f.st = stMoved
+	f.movedAt = pos
+}
+
+func (c *checker) store(v *types.Var, f *varFacts, pos token.Pos) {
+	switch {
+	case f.st&stFreed != 0:
+		c.pass.Reportf(pos, "store of %s after Free (freed at %s)", v.Name(), c.line(f.freedAt))
+	case f.st&stMoved != 0:
+		c.pass.Reportf(pos, "store of %s after ownership handoff (at %s)", v.Name(), c.line(f.movedAt))
+	case f.st&stStored != 0:
+		c.pass.Reportf(pos, "%s stored into two containers along a path (previous store at %s)", v.Name(), c.line(f.storedAt))
+	}
+	f.st = stStored
+	f.storedAt = pos
+}
+
+func (c *checker) line(p token.Pos) string {
+	pos := c.pass.Fset.Position(p)
+	return pos.String()
+}
+
+// --- expression scanning ---
+
+// expr processes e's ownership operations left-to-right, mutating env.
+func (c *checker) expr(e ast.Expr, env env) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v := c.tracked(e, env); v != nil {
+			c.use(v, env[v], e.Pos())
+		}
+	case *ast.ParenExpr:
+		c.expr(e.X, env)
+	case *ast.CallExpr:
+		c.call(e, env)
+	case *ast.SelectorExpr:
+		c.expr(e.X, env)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			c.untrack(e.X, env) // address escapes; stop tracking
+			return
+		}
+		c.expr(e.X, env)
+	case *ast.StarExpr:
+		c.expr(e.X, env)
+	case *ast.BinaryExpr:
+		c.expr(e.X, env)
+		c.expr(e.Y, env)
+	case *ast.IndexExpr:
+		c.expr(e.X, env)
+		c.expr(e.Index, env)
+	case *ast.IndexListExpr:
+		c.expr(e.X, env)
+		for _, ix := range e.Indices {
+			c.expr(ix, env)
+		}
+	case *ast.SliceExpr:
+		c.expr(e.X, env)
+		c.expr(e.Low, env)
+		c.expr(e.High, env)
+		c.expr(e.Max, env)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, env)
+	case *ast.CompositeLit:
+		// A pooled pointer captured in a composite literal gains an alias
+		// the local analysis cannot follow; stop tracking it.
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if !c.untrack(el, env) {
+				c.expr(el, env)
+			}
+		}
+	case *ast.FuncLit:
+		// Captured pooled vars escape into the closure.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+					delete(env, v)
+				}
+			}
+			return true
+		})
+	case *ast.KeyValueExpr:
+		c.expr(e.Key, env)
+		c.expr(e.Value, env)
+	}
+}
+
+// untrack removes a tracked var named by e from the environment; it
+// reports whether e named one.
+func (c *checker) untrack(e ast.Expr, env env) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+			if _, yes := env[v]; yes {
+				delete(env, v)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// call classifies one call's effect on tracked variables.
+func (c *checker) call(call *ast.CallExpr, env env) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if v := c.tracked(sel.X, env); v != nil {
+			// Method call on a tracked pooled pointer.
+			switch sel.Sel.Name {
+			case "Free":
+				c.args(call, env)
+				c.free(v, env[v], call.Pos())
+				return
+			case "SendOn":
+				c.args(call, env)
+				c.move(v, env[v], call.Pos(), "SendOn")
+				return
+			default:
+				c.use(v, env[v], sel.X.Pos())
+				c.args(call, env)
+				return
+			}
+		}
+		c.expr(sel.X, env)
+		c.argsWithHandoff(call, sel.Sel.Name, env)
+		return
+	}
+	c.expr(call.Fun, env)
+	name := ""
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		name = id.Name
+	}
+	c.argsWithHandoff(call, name, env)
+}
+
+// argsWithHandoff processes call arguments; a tracked pointer passed to a
+// callee named Recv/Retain is an ownership handoff, anything else borrows.
+func (c *checker) argsWithHandoff(call *ast.CallExpr, calleeName string, env env) {
+	handoff := handoffCallees[calleeName]
+	for _, a := range call.Args {
+		if v := c.tracked(a, env); v != nil {
+			if handoff {
+				c.move(v, env[v], a.Pos(), calleeName+" handoff")
+			} else {
+				c.use(v, env[v], a.Pos())
+			}
+			continue
+		}
+		c.expr(a, env)
+	}
+}
+
+// args processes arguments as plain borrows.
+func (c *checker) args(call *ast.CallExpr, env env) {
+	for _, a := range call.Args {
+		if v := c.tracked(a, env); v != nil {
+			c.use(v, env[v], a.Pos())
+			continue
+		}
+		c.expr(a, env)
+	}
+}
+
+// --- statements ---
+
+// block walks stmts sequentially; it reports whether the block terminates
+// (return, panic, or branch) so callers exclude it from merges.
+func (c *checker) block(b *ast.BlockStmt, env env) bool {
+	if b == nil {
+		return false
+	}
+	for _, s := range b.List {
+		if c.stmt(s, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) stmt(s ast.Stmt, env env) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.expr(s.X, env)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		c.assign(s, env)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					c.expr(val, env)
+				}
+				for _, name := range vs.Names {
+					if v, ok := c.pass.Info.Defs[name].(*types.Var); ok && c.pooledPtr(v.Type()) {
+						env[v] = &varFacts{st: stOwned}
+					}
+				}
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		return c.block(s, env)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, env)
+		}
+		c.expr(s.Cond, env)
+		thenEnv := env.clone()
+		thenTerm := c.block(s.Body, thenEnv)
+		elseEnv := env.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.stmt(s.Else, elseEnv)
+		}
+		// The post-state is the union of the fallthrough predecessors.
+		for v := range env {
+			delete(env, v)
+		}
+		live := 0
+		if !thenTerm {
+			env.merge(thenEnv)
+			live++
+		}
+		if !elseTerm {
+			env.merge(elseEnv)
+			live++
+		}
+		return live == 0
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return c.switchStmt(s, env)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, env)
+		}
+		c.expr(s.Cond, env)
+		bodyEnv := env.clone()
+		c.block(s.Body, bodyEnv)
+		if s.Post != nil {
+			c.stmt(s.Post, bodyEnv)
+		}
+		env.merge(bodyEnv) // zero or more iterations
+		return false
+	case *ast.RangeStmt:
+		c.expr(s.X, env)
+		bodyEnv := env.clone()
+		for _, ke := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := ke.(*ast.Ident); ok {
+				if v, ok := c.pass.Info.Defs[id].(*types.Var); ok && c.pooledPtr(v.Type()) {
+					bodyEnv[v] = &varFacts{st: stOwned}
+				}
+			}
+		}
+		c.block(s.Body, bodyEnv)
+		// Merge the body's effect on variables that exist outside the loop
+		// (the per-iteration range variables stay body-local).
+		outer := newEnv()
+		for v, f := range bodyEnv {
+			if _, ok := env[v]; ok {
+				outer[v] = f
+			}
+		}
+		env.merge(outer)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if v := c.tracked(r, env); v != nil {
+				c.use(v, env[v], r.Pos()) // returning a dead pointer is a use
+				continue
+			}
+			c.expr(r, env)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto leave this straight-line block
+	case *ast.DeferStmt:
+		c.expr(s.Call, env)
+		return false
+	case *ast.GoStmt:
+		c.expr(s.Call.Fun, env)
+		for _, a := range s.Call.Args {
+			c.untrack(a, env) // the goroutine aliases it beyond this analysis
+		}
+		return false
+	case *ast.SendStmt:
+		c.expr(s.Chan, env)
+		c.untrack(s.Value, env)
+		return false
+	case *ast.IncDecStmt:
+		c.expr(s.X, env)
+		return false
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, env)
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				cc := env.clone()
+				for _, st := range comm.Body {
+					if c.stmt(st, cc) {
+						break
+					}
+				}
+				env.merge(cc)
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func (c *checker) switchStmt(s ast.Stmt, env env) bool {
+	var init ast.Stmt
+	var body *ast.BlockStmt
+	var tag ast.Expr
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, body = s.Init, s.Tag, s.Body
+	case *ast.TypeSwitchStmt:
+		init, body = s.Init, s.Body
+		c.stmt(s.Assign, env)
+	}
+	if init != nil {
+		c.stmt(init, env)
+	}
+	c.expr(tag, env)
+
+	merged := newEnv()
+	liveBranches := 0
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, ce := range cc.List {
+			c.expr(ce, env)
+		}
+		caseEnv := env.clone()
+		term := false
+		for _, st := range cc.Body {
+			if c.stmt(st, caseEnv) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			merged.merge(caseEnv)
+			liveBranches++
+		}
+	}
+	if !hasDefault {
+		merged.merge(env) // no case taken
+		liveBranches++
+	}
+	for v := range env {
+		delete(env, v)
+	}
+	env.merge(merged)
+	return liveBranches == 0
+}
+
+// assign handles stores, handoffs-by-store, and rebinding.
+func (c *checker) assign(s *ast.AssignStmt, env env) {
+	// Right-hand sides first (evaluation order), with store detection for
+	// tracked pointers flowing into outliving containers.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			lhs := s.Lhs[i]
+			if v := c.tracked(rhs, env); v != nil {
+				if c.outlives(lhs, env) {
+					c.store(v, env[v], rhs.Pos())
+				}
+				// Otherwise this is a local alias assignment; the alias
+				// picks up the source's facts in the lhs pass below.
+				continue
+			}
+			// x = append(x, p, ...): storing into a slice.
+			if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) > 0 {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						c.expr(call.Args[0], env)
+						for _, a := range call.Args[1:] {
+							if v := c.tracked(a, env); v != nil {
+								if c.outlives(lhs, env) {
+									c.store(v, env[v], a.Pos())
+								} else {
+									c.untrack(a, env) // aliased into a local slice
+								}
+							} else {
+								c.expr(a, env)
+							}
+						}
+						continue
+					}
+				}
+			}
+			c.expr(rhs, env)
+		}
+	} else {
+		for _, rhs := range s.Rhs {
+			c.expr(rhs, env)
+		}
+	}
+
+	// Left-hand sides: rebinding a tracked variable resets its facts; a
+	// new definition of pooled type starts tracking.
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var v *types.Var
+		if def, ok := c.pass.Info.Defs[id].(*types.Var); ok {
+			v = def
+		} else if use, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+			v = use
+		}
+		if v == nil || !c.pooledPtr(v.Type()) {
+			continue
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			if src := c.tracked(s.Rhs[i], env); src != nil {
+				env[v] = env[src] // aliases share one set of facts
+				continue
+			}
+		}
+		env[v] = &varFacts{st: stOwned}
+	}
+}
+
+// outlives reports whether an assignment target survives the enclosing
+// function: a field or element reached through anything but a plain,
+// function-local, non-pointer value. Writes to package-level variables,
+// receiver or parameter fields, and elements of such containers all
+// outlive the call.
+func (c *checker) outlives(lhs ast.Expr, env env) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return false
+		}
+		obj := c.pass.Info.Uses[l]
+		if obj == nil {
+			obj = c.pass.Info.Defs[l]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		// A package-level variable outlives everything; a plain local
+		// (including the env-tracked pointers themselves) does not.
+		return v.Parent() == v.Pkg().Scope()
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+package poolsafety_test
+
+import (
+	"testing"
+
+	"mptcpsim/internal/lint/linttest"
+	"mptcpsim/internal/lint/poolsafety"
+)
+
+func TestPoolSafety(t *testing.T) {
+	linttest.Run(t, "testdata", "poolcase", poolsafety.Analyzer)
+}

@@ -1,0 +1,23 @@
+// Package netem is a hermetic stub shadowing the real module for
+// poolsafety analyzer tests: just enough surface for the ownership
+// contract (pooled Packet, Free/SendOn claims, Recv handoff).
+package netem
+
+type Packet struct {
+	Seq  int64
+	Size int64
+}
+
+func (p *Packet) Free() {}
+
+func (p *Packet) SendOn() {}
+
+func (p *Packet) Len() int64 { return p.Size }
+
+type Port struct{}
+
+func (n *Port) Recv(p *Packet) {}
+
+type Pool struct{}
+
+func (pl *Pool) NewData() *Packet { return new(Packet) }

@@ -1,0 +1,161 @@
+// Package poolcase exercises the poolsafety analyzer's ownership state
+// machine: every function is one scenario, positive or negative.
+package poolcase
+
+import "mptcpsim/internal/netem"
+
+type holder struct {
+	pkts []*netem.Packet
+	last *netem.Packet
+}
+
+func useAfterFree(p *netem.Packet) {
+	p.Free()
+	_ = p.Len() // want `use of p after Free`
+}
+
+func sendAfterFree(p *netem.Packet) {
+	p.Free()
+	p.SendOn() // want `SendOn of p after Free`
+}
+
+func doubleFree(p *netem.Packet) {
+	p.Free()
+	p.Free() // want `p freed twice along a path`
+}
+
+func branchDoubleFree(p *netem.Packet, done bool) {
+	if done {
+		p.Free()
+	}
+	p.Free() // want `p freed twice along a path`
+}
+
+func freeThenReturnOK(p *netem.Packet, done bool) {
+	if done {
+		p.Free()
+		return
+	}
+	p.SendOn()
+}
+
+func dropOrForwardOK(p *netem.Packet, drop bool) {
+	if drop {
+		p.Free()
+	} else {
+		p.SendOn()
+	}
+}
+
+func switchOK(p *netem.Packet, k int) {
+	switch k {
+	case 0:
+		p.Free()
+	default:
+		p.SendOn()
+	}
+}
+
+func switchNoDefault(p *netem.Packet, k int) {
+	switch k {
+	case 0:
+		p.Free()
+	}
+	p.SendOn() // want `SendOn of p after Free`
+}
+
+func storeThenFree(h *holder, p *netem.Packet) {
+	h.last = p
+	p.Free() // want `Free of p after it was stored`
+}
+
+func storeOK(h *holder, p *netem.Packet) {
+	h.pkts = append(h.pkts, p)
+}
+
+func storeTwice(h *holder, p *netem.Packet) {
+	h.last = p
+	h.pkts = append(h.pkts, p) // want `p stored into two containers along a path`
+}
+
+func handoffThenFree(n *netem.Port, p *netem.Packet) {
+	n.Recv(p)
+	p.Free() // want `Free of p after ownership handoff`
+}
+
+func handoffThenUse(n *netem.Port, p *netem.Packet) {
+	n.Recv(p)
+	_ = p.Len() // want `use of p after ownership handoff`
+}
+
+func handoffOK(n *netem.Port, p *netem.Packet) {
+	n.Recv(p)
+}
+
+func doubleHandoff(p *netem.Packet) {
+	p.SendOn()
+	p.SendOn() // want `p handed off twice along a path`
+}
+
+func localDoubleFree(pool *netem.Pool) {
+	p := pool.NewData()
+	p.Free()
+	p.Free() // want `p freed twice along a path`
+}
+
+func aliasDoubleFree(pool *netem.Pool) {
+	p := pool.NewData()
+	q := p
+	p.Free()
+	q.Free() // want `q freed twice along a path`
+}
+
+func channelEscapeOK(ch chan *netem.Packet, p *netem.Packet) {
+	ch <- p
+	p.Free() // aliased through the channel: analysis stops tracking
+}
+
+func closureEscapeOK(p *netem.Packet) func() {
+	f := func() { p.Free() }
+	p.Free() // captured by the closure: analysis stops tracking
+	return f
+}
+
+func compositeEscapeOK(p *netem.Packet) {
+	h := holder{last: p}
+	p.Free() // aliased through the literal: analysis stops tracking
+	_ = h
+}
+
+func borrowOK(p *netem.Packet) {
+	inspect(p) // plain calls borrow; ownership stays here
+	p.Free()
+}
+
+func rebindOK(pool *netem.Pool) {
+	p := pool.NewData()
+	p.Free()
+	p = pool.NewData() // rebinding resets the lifecycle
+	p.Free()
+}
+
+func loopBodyOK(pool *netem.Pool, n int) {
+	for i := 0; i < n; i++ {
+		p := pool.NewData()
+		p.Free()
+	}
+}
+
+func rangeBodyOK(pkts []*netem.Packet) {
+	for _, p := range pkts {
+		p.SendOn()
+	}
+}
+
+func suppressedOK(p *netem.Packet) {
+	p.Free()
+	//simlint:ignore poolsafety second Free is intentional in this fixture
+	p.Free()
+}
+
+func inspect(p *netem.Packet) {}

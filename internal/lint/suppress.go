@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"mptcpsim/internal/lint/loader"
+)
+
+// The suppression mechanism: a comment of the form
+//
+//	//simlint:ignore <analyzer> <reason>
+//
+// on the same line as a finding, or on the line immediately above it,
+// suppresses that analyzer's findings there. The reason is mandatory — a
+// suppression without one is itself a finding — and a directive that
+// suppresses nothing (for an analyzer that ran on the package) is reported
+// as unused, so stale ignores cannot accumulate.
+
+const ignorePrefix = "//simlint:ignore"
+
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	pos      token.Pos
+	used     bool
+}
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// applySuppressions filters diags through the package's //simlint:ignore
+// directives and appends directive-misuse findings. all is the full
+// analyzer set (for name validation); ran is the subset that actually ran
+// on this package (only their directives can be judged unused).
+func applySuppressions(fset *token.FileSet, pkg *loader.Package, all, ran []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	ranSet := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+
+	var dirs []*directive
+	var misuse []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				bad := func(format string, args ...any) {
+					misuse = append(misuse, Diagnostic{
+						Analyzer: "simlint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  sprintf(format, args...),
+					})
+				}
+				if len(fields) == 0 {
+					bad("malformed %s: missing analyzer name and reason", ignorePrefix)
+					continue
+				}
+				if !known[fields[0]] {
+					bad("%s names unknown analyzer %q", ignorePrefix, fields[0])
+					continue
+				}
+				if len(fields) < 2 {
+					bad("%s %s: a reason is mandatory", ignorePrefix, fields[0])
+					continue
+				}
+				dirs = append(dirs, &directive{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer == d.Analyzer && dir.file == d.File &&
+				(d.Line == dir.line || d.Line == dir.line+1) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, dir := range dirs {
+		if dir.used || !ranSet[dir.analyzer] {
+			continue
+		}
+		pos := fset.Position(dir.pos)
+		misuse = append(misuse, Diagnostic{
+			Analyzer: "simlint",
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  sprintf("unused %s %s: no matching finding on this or the next line", ignorePrefix, dir.analyzer),
+		})
+	}
+	return append(kept, misuse...)
+}

@@ -1,0 +1,25 @@
+// Package suppresscase exercises the //simlint:ignore directive engine:
+// matching, reason enforcement, unknown-analyzer validation, and
+// unused-directive reporting.
+package suppresscase
+
+func trigger() {}
+
+func scenarios() {
+	//simlint:ignore dummy fixture proves same-line+1 suppression
+	trigger()
+
+	trigger() // this finding must survive
+
+	//simlint:ignore dummy this directive matches nothing and is unused
+	_ = 1
+
+	//simlint:ignore dummy
+	trigger() // missing reason: directive rejected, finding survives
+
+	//simlint:ignore nosuch because the analyzer name is wrong
+	trigger() // unknown analyzer: directive rejected, finding survives
+
+	//simlint:ignore notran a directive for an analyzer that did not run
+	trigger()
+}

@@ -113,6 +113,8 @@ func (p *Packet) Route() *Route { return p.route }
 // route is exhausted: protocol endpoints must be the final hop and must not
 // forward further. Forwarding a freed packet panics: that is a lifecycle
 // bug (use after Free).
+//
+//simlint:hot
 func (p *Packet) SendOn() {
 	if p.freed {
 		panic(fmt.Sprintf("netem: use after free: packet (seq %d, ack %v)", p.Seq, p.Ack))
@@ -129,6 +131,8 @@ func (p *Packet) SendOn() {
 // caller must be the packet's terminal owner and must not touch it again.
 // Freeing a heap-allocated packet (DataPacket/AckPacket) is a no-op;
 // double-freeing a pooled packet panics.
+//
+//simlint:hot
 func (p *Packet) Free() {
 	pl := p.pool
 	if pl == nil {

@@ -53,7 +53,10 @@ type RunReport struct {
 	Violations []string `json:"violations,omitempty"`
 }
 
-// Violate appends a formatted violation.
+// Violate appends a formatted violation. It only runs when an invariant
+// has already failed, so its formatting cost is off the hot path.
+//
+//simlint:cold
 func (r *RunReport) violate(format string, args ...any) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }

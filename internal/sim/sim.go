@@ -459,6 +459,8 @@ func (s *Sim) FreeEvents() int { return len(s.free) }
 func (s *Sim) Stop() { s.stopped = true }
 
 // step executes the earliest event. It reports false when the queue is empty.
+//
+//simlint:hot
 func (s *Sim) step() bool {
 	if len(s.heap) == 0 {
 		return false

@@ -859,6 +859,7 @@ func (k *Sink) appendSackBlocks(dst []netem.Block) []netem.Block {
 
 // insertOOO records an out-of-order segment (idempotent).
 func (k *Sink) insertOOO(seq, size int64) {
+	//simlint:ignore hotpathalloc sort.Search does not retain f, so the closure stays on the stack (0 allocs/op per BENCH_kernel)
 	i := sort.Search(len(k.ooo), func(i int) bool { return k.ooo[i].seq >= seq })
 	if i < len(k.ooo) && k.ooo[i].seq == seq {
 		return

@@ -117,6 +117,7 @@ func (g *ShortFlows) spawn() {
 	g.started++
 	src, _ := NewBulk(g.s, id, "short", g.path, g.cfg)
 	g.Active++
+	//simlint:ignore hotpathalloc one callback per flow arrival, not per packet; flow setup allocates by design
 	src.OnComplete = func(s *tcp.Src) {
 		g.Active--
 		g.Done = append(g.Done, s.CompletionTime().Sec())
