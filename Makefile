@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race check lint apicheck examples conform conform-smoke bench bench-tables clean
+.PHONY: build vet fmt-check test race check lint apicheck examples conform conform-smoke bench bench-tables benchcheck bench-baseline clean
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,15 @@ check: build vet fmt-check lint race apicheck
 # determinism (no wall clock / global rand / goroutines / order-sensitive
 # map ranges in sim packages), poolsafety (packet/event ownership
 # lifecycle), hotpathalloc (no closure timers, boxing, or unpreallocated
-# appends in per-packet paths). Suppressions: //simlint:ignore <analyzer>
-# <reason>; unused or reason-less suppressions are themselves findings.
+# appends in per-packet paths), exhaustive (switches over closed enums
+# cover every member or terminate in default), ctxflow (library code
+# threads the caller's context; no context.Background outside main/tests),
+# unitsafety (no raw conversions in or out of sim.Time outside the sim
+# package's audited helpers), errwrap (%w wrapping, errors.Is for
+# sentinels, *Error-classified facade returns). Run a subset with
+# `go run ./cmd/simlint -run <analyzer,...> ./...`. Suppressions:
+# //simlint:ignore <analyzer> <reason>; unused or reason-less suppressions
+# are themselves findings.
 lint:
 	$(GO) run ./cmd/simlint ./...
 
@@ -72,6 +79,19 @@ bench:
 # Regenerate the paper's tables (quick scale) while timing each experiment.
 bench-tables:
 	$(GO) test -bench=. -benchtime 1x . | tee bench_output.txt
+
+# Performance-regression gate: rerun the kernel benchmarks and diff against
+# the committed baseline (testdata/bench_baseline.json). Fails on >15%
+# ns/op drift or any allocs/op growth (cmd/benchdiff). Benchmarks are
+# noisy on shared machines, so CI runs this as a non-blocking signal.
+benchcheck: bench
+	$(GO) run ./cmd/benchdiff testdata/bench_baseline.json BENCH_kernel.json
+
+# Refresh the regression baseline after a deliberate performance change;
+# review and commit the updated file.
+bench-baseline: bench
+	cp BENCH_kernel.json testdata/bench_baseline.json
+	@echo updated testdata/bench_baseline.json
 
 clean:
 	rm -f mptcpsim olia-trace bench_output.txt bench_kernel.txt coverage.*

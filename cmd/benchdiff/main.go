@@ -1,0 +1,157 @@
+// Command benchdiff compares a fresh kernel-benchmark run against the
+// committed baseline and fails on performance regressions. It consumes two
+// cmd/benchjson files — `benchdiff <baseline.json> <current.json>` — and
+// applies the gate `make benchcheck` and CI use:
+//
+//   - ns/op may drift up by at most -tolerance percent (default 15; micro
+//     benchmarks are noisy, so the bar is deliberately loose);
+//   - allocs/op may not increase at all — the zero-alloc steady state is an
+//     exact invariant, not a statistical one;
+//   - a baseline benchmark missing from the current run fails (a renamed or
+//     deleted benchmark must update the baseline deliberately).
+//
+// New benchmarks absent from the baseline are reported but don't fail; they
+// start gating once recorded with `make bench-baseline`.
+//
+// Exit status:
+//
+//	0  within tolerance
+//	1  regression (or missing benchmark)
+//	2  usage or input error
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's per-benchmark record.
+type result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+// delta is one benchmark's comparison outcome.
+type delta struct {
+	Name     string
+	Base     result
+	Cur      result
+	NsPct    float64 // percent change in ns/op (+ is slower)
+	Missing  bool    // in baseline but not in the current run
+	New      bool    // in the current run but not in the baseline
+	Failures []string
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 15, "allowed ns/op increase in percent")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-tolerance <pct>] <baseline.json> <current.json>\n\nexit status: 0 within tolerance, 1 regression, 2 usage/input error\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	deltas := compare(base, cur, *tolerance)
+	failed := false
+	for _, d := range deltas {
+		fmt.Println(render(d))
+		if len(d.Failures) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression against %s (tolerance %g%% ns/op, 0 allocs/op growth)\n", flag.Arg(0), *tolerance)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return out, nil
+}
+
+// compare evaluates every baseline benchmark against the current run (plus
+// any new current-only benchmarks), in name order.
+func compare(base, cur map[string]result, tolerance float64) []delta {
+	names := make([]string, 0, len(base)+len(cur))
+	for name := range base {
+		names = append(names, name)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var deltas []delta
+	for _, name := range names {
+		b, inBase := base[name]
+		c, inCur := cur[name]
+		d := delta{Name: name, Base: b, Cur: c}
+		switch {
+		case !inCur:
+			d.Missing = true
+			d.Failures = append(d.Failures, "missing from the current run; update the baseline if it was renamed or removed")
+		case !inBase:
+			d.New = true
+		default:
+			if b.NsPerOp > 0 {
+				d.NsPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			}
+			if d.NsPct > tolerance {
+				d.Failures = append(d.Failures, fmt.Sprintf("ns/op regressed %.1f%% (limit %g%%)", d.NsPct, tolerance))
+			}
+			if c.AllocsOp > b.AllocsOp {
+				d.Failures = append(d.Failures, fmt.Sprintf("allocs/op grew %g -> %g (any growth fails)", b.AllocsOp, c.AllocsOp))
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// render formats one delta as a single report line.
+func render(d delta) string {
+	switch {
+	case d.Missing:
+		return fmt.Sprintf("FAIL %-20s %s", d.Name, d.Failures[0])
+	case d.New:
+		return fmt.Sprintf("new  %-20s %.4g ns/op %g allocs/op (not in baseline; not gated)", d.Name, d.Cur.NsPerOp, d.Cur.AllocsOp)
+	case len(d.Failures) > 0:
+		s := fmt.Sprintf("FAIL %-20s %.4g -> %.4g ns/op (%+.1f%%)", d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.NsPct)
+		for _, f := range d.Failures {
+			s += "; " + f
+		}
+		return s
+	default:
+		return fmt.Sprintf("ok   %-20s %.4g -> %.4g ns/op (%+.1f%%), %g allocs/op", d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.NsPct, d.Cur.AllocsOp)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mk(ns, allocs float64) result {
+	return result{Iterations: 1000, NsPerOp: ns, AllocsOp: allocs}
+}
+
+func failures(deltas []delta) map[string][]string {
+	out := make(map[string][]string)
+	for _, d := range deltas {
+		if len(d.Failures) > 0 {
+			out[d.Name] = d.Failures
+		}
+	}
+	return out
+}
+
+func TestWithinTolerance(t *testing.T) {
+	base := map[string]result{"A": mk(100, 0), "B": mk(50, 3)}
+	cur := map[string]result{"A": mk(114, 0), "B": mk(40, 3)}
+	if f := failures(compare(base, cur, 15)); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestNsRegression(t *testing.T) {
+	base := map[string]result{"A": mk(100, 0)}
+	cur := map[string]result{"A": mk(116, 0)}
+	f := failures(compare(base, cur, 15))
+	if len(f["A"]) != 1 || !strings.Contains(f["A"][0], "ns/op regressed") {
+		t.Fatalf("want ns/op regression for A, got %v", f)
+	}
+}
+
+func TestAllocGrowthFailsEvenWhenFaster(t *testing.T) {
+	base := map[string]result{"A": mk(100, 0)}
+	cur := map[string]result{"A": mk(60, 1)}
+	f := failures(compare(base, cur, 15))
+	if len(f["A"]) != 1 || !strings.Contains(f["A"][0], "allocs/op grew") {
+		t.Fatalf("want alloc growth failure for A, got %v", f)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	base := map[string]result{"A": mk(100, 0), "Gone": mk(10, 0)}
+	cur := map[string]result{"A": mk(100, 0)}
+	f := failures(compare(base, cur, 15))
+	if len(f["Gone"]) != 1 || !strings.Contains(f["Gone"][0], "missing") {
+		t.Fatalf("want missing failure for Gone, got %v", f)
+	}
+}
+
+func TestNewBenchmarkNotGated(t *testing.T) {
+	base := map[string]result{"A": mk(100, 0)}
+	cur := map[string]result{"A": mk(100, 0), "Fresh": mk(999, 42)}
+	deltas := compare(base, cur, 15)
+	if f := failures(deltas); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+	var fresh *delta
+	for i := range deltas {
+		if deltas[i].Name == "Fresh" {
+			fresh = &deltas[i]
+		}
+	}
+	if fresh == nil || !fresh.New {
+		t.Fatalf("Fresh should be reported as new, got %+v", fresh)
+	}
+	if !strings.Contains(render(*fresh), "not gated") {
+		t.Fatalf("render should flag ungated benchmark: %s", render(*fresh))
+	}
+}
+
+func TestBoundaryExactlyAtTolerance(t *testing.T) {
+	base := map[string]result{"A": mk(100, 0)}
+	cur := map[string]result{"A": mk(115, 0)} // exactly +15%: allowed
+	if f := failures(compare(base, cur, 15)); len(f) != 0 {
+		t.Fatalf("+15%% exactly should pass, got %v", f)
+	}
+}

@@ -1,19 +1,29 @@
 // Command simlint runs the repository's static analyzers — determinism,
-// poolsafety, hotpathalloc — over the module and reports findings.
+// poolsafety, hotpathalloc, exhaustive, ctxflow, unitsafety, errwrap —
+// over the module and reports findings.
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-json] ./...
+//	go run ./cmd/simlint [-json] [-run <analyzer,...>] ./...
 //	go run ./cmd/simlint ./internal/netem ./internal/tcp
+//	go run ./cmd/simlint -run exhaustive,errwrap ./...
 //
 // Patterns are package directories relative to the module root; the single
-// pattern ./... expands to every package in the module. Findings print as
+// pattern ./... expands to every package in the module. -run selects a
+// comma-separated subset of the analyzer catalog (mirroring `go test
+// -run`); naming an unknown analyzer is an error that lists the catalog.
+// Findings print as
 //
 //	internal/tcp/tcp.go:42:7: wall-clock time.Now in simulation code; ... (determinism)
 //
 // or, with -json, as a JSON array of {analyzer, file, line, col, message}
-// objects. Exit status is 0 when clean, 1 when there are findings, and 2
-// on a load or internal error.
+// objects.
+//
+// Exit status:
+//
+//	0  clean — no findings
+//	1  findings were reported
+//	2  usage, load, or internal error
 //
 // Findings are suppressed with a //simlint:ignore <analyzer> <reason>
 // comment on the finding's line or the line above; the reason is
@@ -30,25 +40,36 @@ import (
 	"strings"
 
 	"mptcpsim/internal/lint"
+	"mptcpsim/internal/lint/ctxflow"
 	"mptcpsim/internal/lint/determinism"
+	"mptcpsim/internal/lint/errwrap"
+	"mptcpsim/internal/lint/exhaustive"
 	"mptcpsim/internal/lint/hotpathalloc"
 	"mptcpsim/internal/lint/loader"
 	"mptcpsim/internal/lint/poolsafety"
+	"mptcpsim/internal/lint/unitsafety"
 )
 
+// analyzers is the full catalog, in reporting-name order.
 var analyzers = []*lint.Analyzer{
+	ctxflow.Analyzer,
 	determinism.Analyzer,
+	errwrap.Analyzer,
+	exhaustive.Analyzer,
 	hotpathalloc.Analyzer,
 	poolsafety.Analyzer,
+	unitsafety.Analyzer,
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	runList := flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] <patterns>\n\npatterns: ./... or package directories relative to the module root\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-run <analyzer,...>] <patterns>\n\npatterns: ./... or package directories relative to the module root\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nexit status: 0 clean, 1 findings reported, 2 usage/load/internal error\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,10 +77,50 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(run(*jsonOut, flag.Args()))
+	selected, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(*jsonOut, selected, flag.Args()))
 }
 
-func run(jsonOut bool, patterns []string) int {
+// selectAnalyzers resolves a -run list against the catalog. Unknown names
+// are an error listing every analyzer, so typos fail loudly instead of
+// silently linting nothing.
+func selectAnalyzers(runList string) ([]*lint.Analyzer, error) {
+	if runList == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(analyzers))
+	catalog := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+		catalog = append(catalog, a.Name)
+	}
+	var out []*lint.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q; the catalog is: %s", name, strings.Join(catalog, ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers; the catalog is: %s", strings.Join(catalog, ", "))
+	}
+	return out, nil
+}
+
+func run(jsonOut bool, selected []*lint.Analyzer, patterns []string) int {
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 2
@@ -79,7 +140,7 @@ func run(jsonOut bool, patterns []string) int {
 	if err != nil {
 		return fail(err)
 	}
-	diags, err := lint.Run(prog, pkgs, analyzers)
+	diags, err := lint.RunSelected(prog, pkgs, analyzers, selected)
 	if err != nil {
 		return fail(err)
 	}

@@ -33,7 +33,7 @@ func launchLongFlow(ft *topo.FatTree, src, dst int, algo string, nsub, flowID in
 	if algo == "tcp" {
 		choice := ft.PickPaths(rng, src, dst, 1)[0]
 		s, sink := workload.NewBulk(ft.S, flowID, fmt.Sprintf("h%d", src), ft.Path(src, dst, choice), tcp.Config{})
-		s.Start(sim.Time(rng.Int63n(int64(100 * sim.Millisecond))))
+		s.Start(sim.RandBelow(rng, 100*sim.Millisecond))
 		return tcpFlow{sink}
 	}
 	conn := mptcp.New(ft.S, fmt.Sprintf("h%d", src), topo.Controllers[algo](), tcp.Config{})
@@ -49,7 +49,7 @@ func launchLongFlow(ft *topo.FatTree, src, dst int, algo string, nsub, flowID in
 			netem.NewRoute(pp.Rev...).Append(sf.Src),
 		)
 	}
-	conn.Start(sim.Time(rng.Int63n(int64(100 * sim.Millisecond))))
+	conn.Start(sim.RandBelow(rng, 100*sim.Millisecond))
 	return mpFlow{conn}
 }
 
@@ -231,7 +231,7 @@ func dcShortFlows(cfg Config, algo string, seed int64) shortFlowResult {
 		choice := ft.PickPaths(ft.S.Rand(), i, perm[i], 1)[0]
 		g := workload.NewShortFlows(ft.S, 100_000+1000*i, ft.Path(i, perm[i], choice),
 			70_000, 200*sim.Millisecond, stop, tcp.Config{})
-		g.Start(cfg.DCWarmup + sim.Time(ft.S.Rand().Int63n(int64(200*sim.Millisecond))))
+		g.Start(cfg.DCWarmup + sim.RandBelow(ft.S.Rand(), 200*sim.Millisecond))
 		gens = append(gens, g)
 	}
 	ft.S.RunUntil(cfg.DCWarmup)

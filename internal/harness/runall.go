@@ -86,7 +86,7 @@ func RunAll(ctx context.Context, cfg Config, ids []string, format Format, w io.W
 				res[i].buf.Write(b)
 			case FormatCSV:
 				res[i].err = RenderCSV(r, &res[i].buf)
-			default:
+			case FormatText, "":
 				fmt.Fprintf(&res[i].buf, "\n===== %s =====\n", exps[i].ID)
 				res[i].err = RenderText(r, &res[i].buf)
 			}
@@ -123,6 +123,8 @@ func RunAll(ctx context.Context, cfg Config, ids []string, format Format, w io.W
 			if flushed > 0 {
 				sep = "\n"
 			}
+		case FormatText, "":
+			// Text banners carry their own leading newline.
 		}
 		if sep != "" {
 			if _, err := io.WriteString(w, sep); err != nil {

@@ -1,0 +1,36 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mptcpsim/internal/lint/ctxflow"
+	"mptcpsim/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", "mptcpsim/internal/harness/ctxcase", ctxflow.Analyzer)
+}
+
+// TestOutOfScope proves AppliesTo gating: the same violations outside the
+// scoped packages are not reported.
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata", "example.com/outside", ctxflow.Analyzer)
+}
+
+func TestInScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"mptcpsim":                          true,
+		"mptcpsim/internal/harness":         true,
+		"mptcpsim/internal/harness/ctxcase": true,
+		"mptcpsim/internal/runner":          true,
+		"mptcpsim/internal/scenario":        true,
+		"mptcpsim/internal/sim":             false,
+		"mptcpsim/cmd/mptcpsim":             false,
+		"example.com/outside":               false,
+		"mptcpsim/internal/harnessx":        false,
+	} {
+		if got := ctxflow.InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package outside is out of ctxflow's scope: nothing here may be
+// reported even though every rule is violated.
+package outside
+
+import "context"
+
+func MintAway() context.Context { return context.Background() }
+
+func Blocking(ch chan int) int { return <-ch }
+
+func Ignored(ctx context.Context) int { return 1 }

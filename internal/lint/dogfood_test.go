@@ -5,10 +5,14 @@ import (
 	"testing"
 
 	"mptcpsim/internal/lint"
+	"mptcpsim/internal/lint/ctxflow"
 	"mptcpsim/internal/lint/determinism"
+	"mptcpsim/internal/lint/errwrap"
+	"mptcpsim/internal/lint/exhaustive"
 	"mptcpsim/internal/lint/hotpathalloc"
 	"mptcpsim/internal/lint/loader"
 	"mptcpsim/internal/lint/poolsafety"
+	"mptcpsim/internal/lint/unitsafety"
 )
 
 // TestDogfood runs every analyzer over the whole module and requires a
@@ -36,7 +40,15 @@ func TestDogfood(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	analyzers := []*lint.Analyzer{determinism.Analyzer, hotpathalloc.Analyzer, poolsafety.Analyzer}
+	analyzers := []*lint.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		errwrap.Analyzer,
+		exhaustive.Analyzer,
+		hotpathalloc.Analyzer,
+		poolsafety.Analyzer,
+		unitsafety.Analyzer,
+	}
 	diags, err := lint.Run(prog, pkgs, analyzers)
 	if err != nil {
 		t.Fatal(err)

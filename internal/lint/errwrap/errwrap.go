@@ -1,0 +1,255 @@
+// Package errwrap implements the simlint analyzer that enforces the PR 5
+// error taxonomy. The facade promises callers a programmatic error
+// surface — every Lab-method error is an *mptcpsim.Error wrapping exactly
+// one sentinel, matchable with errors.Is/As — and that promise decays one
+// careless wrap at a time: a %v where %w belonged severs the chain an
+// errors.Is caller walks, a raw == comparison breaks the moment anyone
+// adds a wrapping layer, and a fmt.Errorf returned straight from an
+// exported facade method escapes the taxonomy entirely. Three rules,
+// module-wide except where noted:
+//
+//   - fmt.Errorf with an error-typed operand must wrap it with %w (not
+//     %v/%s/%q), so the cause chain stays walkable. Calls with a
+//     non-constant format string or a ...-spread argument list cannot be
+//     mapped to verbs statically and are skipped;
+//   - sentinel comparisons use errors.Is: comparing an error against a
+//     package-level error variable with == or != (or switching on an
+//     error tag with sentinel cases) matches only the unwrapped value;
+//     nil comparisons are, of course, fine;
+//   - the facade package's exported API returns classified errors:
+//     directly returning fmt.Errorf(...)/errors.New(...) from an exported
+//     function or method in package mptcpsim bypasses the *Error family —
+//     build the error through apiErr/classify instead.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"mptcpsim/internal/lint"
+)
+
+// Analyzer is the error-taxonomy checker.
+var Analyzer = &lint.Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w when fmt.Errorf wraps an error, errors.Is for sentinel comparisons, and *Error-classified returns from the exported facade API",
+	Run:  run,
+}
+
+// facadePath is the package whose exported API must return classified
+// errors.
+const facadePath = "mptcpsim"
+
+func run(pass *lint.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, errType, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, errType, n)
+			case *ast.SwitchStmt:
+				checkErrorSwitch(pass, errType, n)
+			}
+			return true
+		})
+	}
+
+	if pass.Pkg.Path() == facadePath {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkFacadeReturns(pass, fd)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkErrorf maps fmt.Errorf verbs to arguments and requires %w for any
+// error-typed operand.
+func checkErrorf(pass *lint.Pass, errType *types.Interface, call *ast.CallExpr) {
+	if !isPkgFunc(pass, call, "fmt", "Errorf") {
+		return
+	}
+	if call.Ellipsis.IsValid() || len(call.Args) < 2 {
+		return // spread args or no operands: not statically mappable
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format
+	}
+	verbs := parseVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		t := pass.Info.TypeOf(arg)
+		if t == nil || !types.Implements(t, errType) {
+			continue
+		}
+		if v := verbs[i]; v != 'w' {
+			pass.Reportf(arg.Pos(), "error operand formatted with %%%c; use %%w so callers can errors.Is/As through the wrap", v)
+		}
+	}
+}
+
+// parseVerbs returns the verb letter consuming each successive argument of
+// a Printf-style format: flags, width, and precision are skipped, `*`
+// width/precision consume an argument themselves (recorded as '*'), and
+// %% consumes nothing. Explicit argument indexes (%[1]d) abandon the scan
+// — order is no longer positional.
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+	spec:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c == '[':
+				return verbs // explicit index: give up
+			case c >= '0' && c <= '9' || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.':
+				// flag, width, or precision: keep scanning
+			default:
+				verbs = append(verbs, c)
+				break spec
+			}
+		}
+	}
+	return verbs
+}
+
+// checkComparison flags ==/!= between an error value and a package-level
+// error sentinel.
+func checkComparison(pass *lint.Pass, errType *types.Interface, b *ast.BinaryExpr) {
+	op := b.Op.String()
+	if op != "==" && op != "!=" {
+		return
+	}
+	if name := sentinelName(pass, errType, b.X); name != "" && isErrorExpr(pass, errType, b.Y) {
+		pass.Reportf(b.Pos(), "sentinel %s compared with %s; use errors.Is so the match survives wrapping", name, op)
+		return
+	}
+	if name := sentinelName(pass, errType, b.Y); name != "" && isErrorExpr(pass, errType, b.X) {
+		pass.Reportf(b.Pos(), "sentinel %s compared with %s; use errors.Is so the match survives wrapping", name, op)
+	}
+}
+
+// checkErrorSwitch flags `switch err { case ErrFoo: }` — each sentinel
+// case is an == comparison in disguise.
+func checkErrorSwitch(pass *lint.Pass, errType *types.Interface, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass, errType, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if name := sentinelName(pass, errType, expr); name != "" {
+				pass.Reportf(expr.Pos(), "sentinel %s matched by switch case (an == comparison); use errors.Is so the match survives wrapping", name)
+			}
+		}
+	}
+}
+
+// sentinelName returns the name of the package-level error variable e
+// refers to, or "" when e is not a sentinel reference.
+func sentinelName(pass *lint.Pass, errType *types.Interface, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "" // not a package-level variable
+	}
+	if !types.Implements(v.Type(), errType) {
+		return ""
+	}
+	return v.Name()
+}
+
+// isErrorExpr reports whether e's static type implements error (and is not
+// the untyped nil).
+func isErrorExpr(pass *lint.Pass, errType *types.Interface, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errType)
+}
+
+// checkFacadeReturns flags exported facade functions that return a raw
+// fmt.Errorf/errors.New error instead of classifying it into the *Error
+// family. Nested function literals return from themselves, not from the
+// API, and are skipped.
+func checkFacadeReturns(pass *lint.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if name := rawErrorConstructor(pass, res); name != "" {
+					pass.Reportf(res.Pos(), "exported facade API returns a raw %s error; classify it into the *Error family (apiErr/classify) so errors.As(*Error) holds", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rawErrorConstructor names the direct raw-error construction in e
+// ("fmt.Errorf" or "errors.New"), or "" when e is anything else.
+func rawErrorConstructor(pass *lint.Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	if isPkgFunc(pass, call, "fmt", "Errorf") {
+		return "fmt.Errorf"
+	}
+	if isPkgFunc(pass, call, "errors", "New") {
+		return "errors.New"
+	}
+	return ""
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func isPkgFunc(pass *lint.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

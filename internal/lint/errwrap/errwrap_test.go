@@ -1,0 +1,17 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"mptcpsim/internal/lint/errwrap"
+	"mptcpsim/internal/lint/linttest"
+)
+
+func TestErrwrap(t *testing.T) {
+	linttest.Run(t, "testdata", "errcase", errwrap.Analyzer)
+}
+
+// TestFacade: the raw-return rule fires only in the facade package path.
+func TestFacade(t *testing.T) {
+	linttest.Run(t, "testdata", "mptcpsim", errwrap.Analyzer)
+}

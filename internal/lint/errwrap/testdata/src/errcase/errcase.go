@@ -1,0 +1,105 @@
+// Package errcase seeds errwrap violations and clean shapes.
+package errcase
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is a package-level sentinel.
+var ErrNotFound = errors.New("not found")
+
+// ErrBusy is another sentinel.
+var ErrBusy = errors.New("busy")
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want `error operand formatted with %v; use %w`
+}
+
+func wrapWithS(err error) error {
+	return fmt.Errorf("loading config: %s", err) // want `error operand formatted with %s; use %w`
+}
+
+func wrapWithQ(err error) error {
+	return fmt.Errorf("loading config: %q", err) // want `error operand formatted with %q; use %w`
+}
+
+func wrapWithW(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+func wrapSecondOperand(path string, err error) error {
+	return fmt.Errorf("%s: %v", path, err) // want `error operand formatted with %v; use %w`
+}
+
+func wrapMixed(path string, err error) error {
+	return fmt.Errorf("%s: %w", path, err)
+}
+
+// starWidth: the * consumes an argument, so the error still maps to %v.
+func starWidth(w int, err error) error {
+	return fmt.Errorf("%*d: %v", w, 7, err) // want `error operand formatted with %v; use %w`
+}
+
+// nonConstFormat cannot be mapped statically: skipped.
+func nonConstFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// spreadArgs cannot be mapped statically: skipped.
+func spreadArgs(format string, args []any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// explicitIndex abandons positional mapping: skipped.
+func explicitIndex(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}
+
+// noErrorOperand is fine whatever the verbs.
+func noErrorOperand(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+func compareEq(err error) bool {
+	return err == ErrNotFound // want `sentinel ErrNotFound compared with ==; use errors.Is`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBusy // want `sentinel ErrBusy compared with !=; use errors.Is`
+}
+
+func compareReversed(err error) bool {
+	return ErrNotFound == err // want `sentinel ErrNotFound compared with ==; use errors.Is`
+}
+
+func compareNil(err error) bool {
+	return err == nil || err != nil
+}
+
+func properIs(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+func switchSentinel(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrNotFound: // want `sentinel ErrNotFound matched by switch case`
+		return 1
+	case ErrBusy: // want `sentinel ErrBusy matched by switch case`
+		return 2
+	}
+	return 3
+}
+
+// localCompare: comparing two local error values is not a sentinel match.
+func localCompare(a, b error) bool {
+	return a == b
+}
+
+// suppressed keeps a justified identity comparison.
+func suppressed(err error) bool {
+	//simlint:ignore errwrap identity check on an unexported never-wrapped marker
+	return err == ErrBusy
+}

@@ -1,0 +1,79 @@
+// Package mptcpsim stubs the facade: exported API errors must be
+// classified into the *Error family, never returned raw.
+package mptcpsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig mirrors the real sentinel.
+var ErrInvalidConfig = errors.New("invalid configuration")
+
+// Error mirrors the real boundary type.
+type Error struct {
+	Op  string
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("mptcpsim: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the cause chain.
+func (e *Error) Unwrap() error { return e.Err }
+
+func apiErr(op string, sentinel, cause error) error {
+	return &Error{Op: op, Err: fmt.Errorf("%w: %w", sentinel, cause)}
+}
+
+// Collect returns a raw error straight from the exported API.
+func Collect(id string) error {
+	if id == "" {
+		return fmt.Errorf("empty experiment id") // want `exported facade API returns a raw fmt.Errorf error`
+	}
+	return nil
+}
+
+// Run returns a raw errors.New.
+func Run(id string) error {
+	if id == "" {
+		return errors.New("empty experiment id") // want `exported facade API returns a raw errors.New error`
+	}
+	return nil
+}
+
+// Analyze classifies properly.
+func Analyze(id string) error {
+	if id == "" {
+		return apiErr("analyze", ErrInvalidConfig, fmt.Errorf("empty id for %q", id))
+	}
+	return nil
+}
+
+// unexported helpers may build raw causes; the boundary wraps them.
+func knownIDs() error { return fmt.Errorf("have none") }
+
+// Fuzz returns through a classified helper and a threaded variable: fine.
+func Fuzz(id string) error {
+	err := knownIDs()
+	if err != nil {
+		return apiErr("fuzz", ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// Conform's closure returns raw internally; the literal is not the API
+// boundary.
+func Conform(ids []string) error {
+	check := func(id string) error {
+		if id == "" {
+			return fmt.Errorf("empty id")
+		}
+		return nil
+	}
+	for _, id := range ids {
+		if err := check(id); err != nil {
+			return apiErr("conform", ErrInvalidConfig, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package exhaustive implements the simlint analyzer that keeps switches
+// over the module's closed enums total. The experiment matrix grows along
+// enum axes — fluid.Algo gains controllers (BALIA, wVegas, ...), harness
+// gains output Formats, netem gains queue Kinds, the Lab emits new
+// ProgressEvent kinds — and a switch that silently falls through a new
+// member corrupts a result table instead of failing the build. The analyzer
+// discovers enum members from the defining package's typed constants, so
+// adding a member instantly flags every switch that does not handle it.
+//
+// A type is treated as a closed enum when it is a defined (non-alias) type
+// declared in a loaded package whose package-level constants of exactly
+// that type form either
+//
+//   - an iota-shaped integer set: two or more distinct values that are
+//     exactly 0..n-1 (bit-flag sets like 1<<iota and unit constants like
+//     sim.Time's Nanosecond..Second are deliberately excluded — their
+//     values are not contiguous from zero, and switching over them is not
+//     a totality claim), or
+//   - a string set: two or more distinct string values (harness.Format,
+//     harness.CellKind).
+//
+// Every switch whose tag has an enum type must either list every member
+// among its case expressions or carry a default clause that terminates —
+// ends in return, panic, os.Exit, or an infinite loop — so unknown members
+// are an error, never a silent no-op. A default that absorbs the missing
+// members without terminating is reported. Switches with non-constant case
+// expressions cannot be judged statically and are skipped.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mptcpsim/internal/lint"
+)
+
+// Analyzer is the exhaustiveness checker.
+var Analyzer = &lint.Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over closed enum types (iota-contiguous or string constant sets) to cover every member or terminate in default",
+	Run:  run,
+}
+
+// enum describes one discovered closed enum type.
+type enum struct {
+	named *types.Named
+	// members maps each distinct constant value (exact representation via
+	// constant.Value.ExactString) to the first constant name declaring it.
+	members map[string]string
+}
+
+func run(pass *lint.Pass) error {
+	enums := make(map[*types.TypeName]*enum)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, enums, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *lint.Pass, enums map[*types.TypeName]*enum, sw *ast.SwitchStmt) {
+	t := pass.Info.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	e := enumFor(enums, t)
+	if e == nil {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.Info.Types[expr]
+			if !ok {
+				continue
+			}
+			if tv.Value == nil {
+				// A non-constant case expression: membership cannot be
+				// decided statically, so the switch is not judged.
+				if types.Identical(tv.Type, e.named) {
+					return
+				}
+				continue
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for val, name := range e.members {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+
+	tn := e.named.Obj()
+	qual := tn.Name()
+	if tn.Pkg() != nil {
+		qual = tn.Pkg().Path() + "." + tn.Name()
+	}
+	switch {
+	case defaultClause == nil:
+		pass.Reportf(sw.Pos(), "non-exhaustive switch over %s: missing %s (add the cases or a default that returns or panics)",
+			qual, strings.Join(missing, ", "))
+	case !terminates(defaultClause.Body):
+		pass.Reportf(defaultClause.Pos(), "default clause silently absorbs %s member(s) %s: cover them, or make the default return or panic so new members are an error",
+			qual, strings.Join(missing, ", "))
+	}
+}
+
+// enumFor resolves t to a discovered enum, memoizing per type name.
+func enumFor(cache map[*types.TypeName]*enum, t types.Type) *enum {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return nil // predeclared (error, ...)
+	}
+	if e, ok := cache[tn]; ok {
+		return e
+	}
+	cache[tn] = discover(named)
+	return cache[tn]
+}
+
+// discover scans the defining package's scope for constants of exactly the
+// named type and applies the closed-enum shape rules.
+func discover(named *types.Named) *enum {
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	isString := basic.Info()&types.IsString != 0
+	isInteger := basic.Info()&types.IsInteger != 0
+	if !isString && !isInteger {
+		return nil
+	}
+
+	members := make(map[string]string)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if _, dup := members[key]; !dup {
+			members[key] = c.Name()
+		}
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	if isInteger {
+		// Members must be exactly 0..n-1 — the iota shape. Anything else
+		// (bit flags, unit constants) is not a closed enum.
+		for i := 0; i < len(members); i++ {
+			if _, ok := members[fmt.Sprint(i)]; !ok {
+				return nil
+			}
+		}
+	}
+	return &enum{named: named, members: members}
+}
+
+// terminates reports whether the statement list always transfers control
+// out of the switch abnormally: return, panic, os.Exit/log.Fatal-style
+// calls, goto, or an infinite for loop. An empty body, a break, or a plain
+// fallthrough into normal flow does not terminate.
+func terminates(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	return stmtTerminates(body[len(body)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok.String() == "goto"
+	case *ast.ExprStmt:
+		return callTerminates(s.X)
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body.List) && stmtTerminates(s.Else)
+	case *ast.ForStmt:
+		return s.Cond == nil && !hasBreak(s.Body)
+	default:
+		return false
+	}
+}
+
+// callTerminates recognizes panic and the conventional never-return calls.
+func callTerminates(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		return name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Panic" || name == "Panicf"
+	}
+	return false
+}
+
+// hasBreak reports whether the loop body contains a break that could exit
+// it. Nested loops and switches absorb their own breaks; a labeled break
+// out of a nested construct is not modeled (the loop is then wrongly
+// considered infinite, erring toward accepting the default as terminating).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

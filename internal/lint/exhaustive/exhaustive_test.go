@@ -1,0 +1,18 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"mptcpsim/internal/lint/exhaustive"
+	"mptcpsim/internal/lint/linttest"
+)
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata", "exhcase", exhaustive.Analyzer)
+}
+
+// TestDefiningPackageClean: the package declaring the enums switches over
+// nothing, so discovery alone must not report.
+func TestDefiningPackageClean(t *testing.T) {
+	linttest.Run(t, "testdata", "enumdef", exhaustive.Analyzer)
+}

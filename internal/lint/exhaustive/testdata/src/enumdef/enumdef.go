@@ -1,0 +1,47 @@
+// Package enumdef defines enums in a separate package so the analyzer's
+// cross-package member discovery (consts come from the defining package's
+// scope, not the switch's package) is exercised.
+package enumdef
+
+// Algo is an iota-shaped closed enum, mirroring fluid.Algo.
+type Algo int
+
+const (
+	OLIA Algo = iota
+	LIA
+	Uncoupled
+	BALIA
+)
+
+// Format is a string-valued closed enum, mirroring harness.Format.
+type Format string
+
+const (
+	FormatText Format = "text"
+	FormatJSON Format = "json"
+	FormatCSV  Format = "csv"
+)
+
+// Flags is a bit-flag set: values 1, 2, 4 are not contiguous from zero,
+// so it must NOT be treated as a closed enum.
+type Flags int
+
+const (
+	FlagA Flags = 1 << iota
+	FlagB
+	FlagC
+)
+
+// Unit mirrors sim.Time: scale constants, not an enum.
+type Unit int64
+
+const (
+	Nano  Unit = 1
+	Micro      = 1000 * Nano
+	Milli      = 1000 * Micro
+)
+
+// Lone has a single member and is therefore not a closed enum.
+type Lone int
+
+const OnlyLone Lone = 0

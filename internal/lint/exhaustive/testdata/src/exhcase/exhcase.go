@@ -1,0 +1,159 @@
+// Package exhcase seeds exhaustive-analyzer violations and clean shapes.
+package exhcase
+
+import "enumdef"
+
+// Mode is a package-local iota enum.
+type Mode int
+
+const (
+	ModeIdle Mode = iota
+	ModeRun
+	ModeDrain
+)
+
+func missingCase(a enumdef.Algo) int {
+	switch a { // want `non-exhaustive switch over enumdef.Algo: missing BALIA, Uncoupled`
+	case enumdef.OLIA:
+		return 1
+	case enumdef.LIA:
+		return 2
+	}
+	return 0
+}
+
+func silentDefault(a enumdef.Algo) int {
+	out := 0
+	switch a {
+	case enumdef.OLIA, enumdef.LIA, enumdef.Uncoupled:
+		out = 1
+	default: // want `default clause silently absorbs enumdef.Algo member\(s\) BALIA`
+		out = 2
+	}
+	return out
+}
+
+func coveredAll(a enumdef.Algo) int {
+	switch a {
+	case enumdef.OLIA:
+		return 1
+	case enumdef.LIA:
+		return 2
+	case enumdef.Uncoupled:
+		return 3
+	case enumdef.BALIA:
+		return 4
+	}
+	return 0
+}
+
+func terminatingDefault(a enumdef.Algo) int {
+	switch a {
+	case enumdef.OLIA:
+		return 1
+	default:
+		panic("exhcase: unknown algo")
+	}
+}
+
+func terminatingReturnDefault(a enumdef.Algo) (int, error) {
+	switch a {
+	case enumdef.OLIA:
+		return 1, nil
+	default:
+		return 0, errAlgo
+	}
+}
+
+var errAlgo = errorString("unknown algo")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func stringEnumMissing(f enumdef.Format) string {
+	switch f { // want `non-exhaustive switch over enumdef.Format: missing FormatCSV`
+	case enumdef.FormatText:
+		return "t"
+	case enumdef.FormatJSON:
+		return "j"
+	}
+	return ""
+}
+
+// stringEnumExtraCase covers every member plus a non-member literal; the
+// extra case is fine.
+func stringEnumExtraCase(f enumdef.Format) string {
+	switch f {
+	case enumdef.FormatText, enumdef.FormatJSON, enumdef.FormatCSV, "":
+		return "ok"
+	}
+	return ""
+}
+
+func localEnumMissing(m Mode) int {
+	switch m { // want `non-exhaustive switch over exhcase.Mode: missing ModeDrain`
+	case ModeIdle:
+		return 0
+	case ModeRun:
+		return 1
+	}
+	return -1
+}
+
+// nonConstantCase cannot be judged statically: no finding.
+func nonConstantCase(m, other Mode) int {
+	switch m {
+	case ModeIdle:
+		return 0
+	case other:
+		return 1
+	}
+	return -1
+}
+
+// flagsNotEnum: bit-flag sets are not closed enums, any coverage is fine.
+func flagsNotEnum(f enumdef.Flags) int {
+	switch f {
+	case enumdef.FlagA:
+		return 1
+	}
+	return 0
+}
+
+// unitNotEnum: scale-constant types are not closed enums.
+func unitNotEnum(u enumdef.Unit) int {
+	switch u {
+	case enumdef.Nano:
+		return 1
+	}
+	return 0
+}
+
+// loneNotEnum: a single-member type is not a closed enum.
+func loneNotEnum(l enumdef.Lone) int {
+	switch l {
+	case enumdef.OnlyLone:
+		return 1
+	}
+	return 0
+}
+
+// taglessSwitch is out of scope (no tag expression).
+func taglessSwitch(m Mode) int {
+	switch {
+	case m == ModeIdle:
+		return 0
+	}
+	return 1
+}
+
+// suppressed documents a deliberately partial switch.
+func suppressed(a enumdef.Algo) int {
+	//simlint:ignore exhaustive this table only renders the coupled controllers
+	switch a {
+	case enumdef.OLIA, enumdef.LIA:
+		return 1
+	}
+	return 0
+}

@@ -76,11 +76,20 @@ type Diagnostic struct {
 // reason, an unknown analyzer name, a directive that matched nothing — is
 // itself returned as a finding attributed to the pseudo-analyzer "simlint".
 func Run(prog *loader.Program, pkgs []*loader.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunSelected(prog, pkgs, analyzers, analyzers)
+}
+
+// RunSelected is Run with the catalog and the selection split: only
+// selected analyzers execute, but //simlint:ignore directives naming any
+// cataloged analyzer stay valid — running a -run subset must not turn the
+// other analyzers' suppressions into unknown-name findings (nor report
+// them unused, since they never got the chance to match).
+func RunSelected(prog *loader.Program, pkgs []*loader.Package, catalog, selected []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var ran []*Analyzer
 		var diags []Diagnostic
-		for _, a := range analyzers {
+		for _, a := range selected {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
@@ -97,7 +106,7 @@ func Run(prog *loader.Program, pkgs []*loader.Package, analyzers []*Analyzer) ([
 				return nil, err
 			}
 		}
-		out = append(out, applySuppressions(prog.Fset, pkg, analyzers, ran, diags)...)
+		out = append(out, applySuppressions(prog.Fset, pkg, catalog, ran, diags)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -144,6 +144,12 @@ func (pr *Program) loadUncached(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if len(bp.GoFiles) == 0 {
+		// ImportDir accepts tests-only directories (GoFiles empty,
+		// TestGoFiles set) without error; type-checking zero files would
+		// yield a nameless empty package, so report it instead.
+		return nil, fmt.Errorf("%s: no non-test Go files in %s", path, dir)
+	}
 	files := make([]*ast.File, 0, len(bp.GoFiles))
 	for _, name := range bp.GoFiles {
 		f, err := parser.ParseFile(pr.Fset, filepath.Join(dir, name), nil,
@@ -172,7 +178,7 @@ func (pr *Program) loadUncached(path string) (*Package, error) {
 	}
 	tpkg, _ := conf.Check(path, pr.Fset, files, info)
 	if len(errs) > 0 {
-		return nil, fmt.Errorf("type-checking %s: %v", path, errs[0])
+		return nil, fmt.Errorf("type-checking %s: %w", path, errs[0])
 	}
 	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
 }

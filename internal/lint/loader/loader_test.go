@@ -1,0 +1,135 @@
+package loader_test
+
+import (
+	"errors"
+	"go/build"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mptcpsim/internal/lint/loader"
+)
+
+func newProgram(t *testing.T) *loader.Program {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader.NewProgram(loader.Config{SrcRoots: []string{testdata}})
+}
+
+// TestBuildTagExcluded: a file behind an unsatisfied build constraint is
+// neither parsed nor type-checked (it would redeclare Answer against an
+// undefined symbol).
+func TestBuildTagExcluded(t *testing.T) {
+	pkgs, err := newProgram(t).Load("tagged")
+	if err != nil {
+		t.Fatalf("Load(tagged): %v", err)
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("want 1 file (excluded.go filtered out), got %d", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Answer") == nil {
+		t.Fatal("Answer missing from the checked package scope")
+	}
+}
+
+// TestTestsOnlyPackage: a directory with only _test.go files is reported
+// as an error instead of type-checking into a nameless empty package.
+func TestTestsOnlyPackage(t *testing.T) {
+	_, err := newProgram(t).Load("testsonly")
+	if err == nil {
+		t.Fatal("Load(testsonly) succeeded; want a no-non-test-files error")
+	}
+	if !strings.Contains(err.Error(), "no non-test Go files") || !strings.Contains(err.Error(), "testsonly") {
+		t.Fatalf("error does not report the tests-only package: %v", err)
+	}
+}
+
+// TestEmptyDirectory: a resolvable directory with no Go files at all is a
+// NoGoError, reported with the import path.
+func TestEmptyDirectory(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "src", "vacant")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// hasGoFiles gates SrcRoots resolution, so give the directory one .go
+	// entry that go/build itself excludes (an underscore-prefixed file).
+	if err := os.WriteFile(filepath.Join(dir, "_skip.go"), []byte("package vacant\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := loader.NewProgram(loader.Config{SrcRoots: []string{root}})
+	_, err := prog.Load("vacant")
+	if err == nil {
+		t.Fatal("Load(vacant) succeeded; want NoGoError")
+	}
+	var ngerr *build.NoGoError
+	if !errors.As(err, &ngerr) {
+		t.Fatalf("want *build.NoGoError in the chain, got %v", err)
+	}
+}
+
+// TestSyntacticallyBroken: a package that does not parse is reported as an
+// error naming the file, not a panic.
+func TestSyntacticallyBroken(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "src", "broken")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package broken\n\nfunc Oops( {\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := loader.NewProgram(loader.Config{SrcRoots: []string{root}})
+	_, err := prog.Load("broken")
+	if err == nil {
+		t.Fatal("Load(broken) succeeded; want a parse error")
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+	// The program stays usable after a failed load.
+	if _, err := prog.Load("tagged"); err == nil {
+		t.Fatal("tagged is not under this root; want resolution error")
+	}
+}
+
+// TestTypeError: a package that parses but fails the type check wraps the
+// first types.Error so callers can errors.As through it.
+func TestTypeError(t *testing.T) {
+	_, err := newProgram(t).Load("typebad")
+	if err == nil {
+		t.Fatal("Load(typebad) succeeded; want a type error")
+	}
+	var terr types.Error
+	if !errors.As(err, &terr) {
+		t.Fatalf("want types.Error in the chain, got %v", err)
+	}
+	if !strings.Contains(terr.Msg, "Missing") {
+		t.Fatalf("type error does not name the undefined symbol: %v", terr)
+	}
+}
+
+// TestModulePackages: the walk skips testdata directories and tests-only
+// packages, and includes the module root when it has Go files.
+func TestModulePackages(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "modtree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loader.ModulePackages(root, "fakemod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fakemod", "fakemod/sub"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ModulePackages = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,2 @@
+// Package modtree is the root of a fake module used to test ModulePackages.
+package modtree

@@ -1,0 +1,2 @@
+// Package sub is a buildable subpackage.
+package sub

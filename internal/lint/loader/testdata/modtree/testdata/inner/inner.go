@@ -1,0 +1,2 @@
+// Package inner sits under a testdata directory and must be skipped.
+package inner

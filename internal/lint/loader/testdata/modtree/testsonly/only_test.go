@@ -1,0 +1,2 @@
+// Package testsonly must not appear in ModulePackages (no non-test files).
+package testsonly

@@ -1,0 +1,7 @@
+//go:build neverbuildme
+
+package tagged
+
+// Answer redeclared against an undefined symbol: a type error if this file
+// were ever included.
+const Answer = excludedSymbolThatDoesNotExist

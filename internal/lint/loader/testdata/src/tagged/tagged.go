@@ -1,0 +1,7 @@
+// Package tagged has one file excluded by a build constraint; loading must
+// honor the constraint (excluded.go redeclares Answer against an undefined
+// symbol, so including it would fail the type check).
+package tagged
+
+// Answer is defined once here.
+const Answer = 42

@@ -1,0 +1,2 @@
+// Package testsonly has no non-test Go files; importing it is a NoGoError.
+package testsonly

@@ -1,0 +1,5 @@
+// Package typebad parses but fails the type check: Missing is undefined.
+package typebad
+
+// X references an undefined identifier.
+var X = Missing

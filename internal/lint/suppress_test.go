@@ -81,3 +81,49 @@ func TestSuppressions(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSelected: running a -run subset keeps the full catalog for
+// directive validation — suppressions naming a cataloged-but-unselected
+// analyzer are neither "unknown" nor "unused", while malformed and truly
+// unknown-name directives are still reported.
+func TestRunSelected(t *testing.T) {
+	mk := func(name string) *Analyzer {
+		return &Analyzer{Name: name, Doc: "no-op", Run: func(*Pass) error { return nil }}
+	}
+	dummy, notran, other := mk("dummy"), mk("notran"), mk("other")
+
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := loader.NewProgram(loader.Config{SrcRoots: []string{abs}})
+	pkgs, err := prog.Load("suppresscase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunSelected(prog, pkgs, []*Analyzer{dummy, notran, other}, []*Analyzer{other})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		line     int
+		contains string
+	}{
+		{17, "a reason is mandatory"},
+		{20, `unknown analyzer "nosuch"`},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s:%d [%s] %s", d.File, d.Line, d.Analyzer, d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Analyzer != "simlint" || d.Line != w.line || !strings.Contains(d.Message, w.contains) {
+			t.Errorf("diag %d = %s:%d [%s] %q; want line %d [simlint] containing %q",
+				i, d.File, d.Line, d.Analyzer, d.Message, w.line, w.contains)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package sim is a hermetic stub of the real kernel package: the unit
+// types and their audited conversion helpers. Raw representation access in
+// here is legal — this package IS the chokepoint — which the
+// definer-exemption test proves by holding this file at zero findings.
+package sim
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Rate is a link rate in bits per second (reserved in the real module;
+// declared here to exercise cross-dimension rules).
+type Rate int64
+
+// Bytes is a byte count (reserved in the real module).
+type Bytes int64
+
+// Seconds converts a floating-point second count to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Nanos is the audited float escape hatch.
+func (t Time) Nanos() float64 { return float64(t) }
+
+// Sec converts to floating-point seconds.
+func (t Time) Sec() float64 { return float64(t) / float64(Second) }
+
+// TxTime is the audited rate·bytes→time chokepoint.
+func TxTime(bytes Bytes, rate Rate) Time {
+	return Time(int64(bytes) * 8 * int64(Second) / int64(rate))
+}

@@ -1,0 +1,106 @@
+// Package unitcase seeds unitsafety violations against the sim stub.
+package unitcase
+
+import "mptcpsim/internal/sim"
+
+// nakedAdd adds a raw nanosecond count.
+func nakedAdd(t sim.Time) sim.Time {
+	return t + 1000 // want `untyped literal added to or subtracted from a time-typed operand carries no unit`
+}
+
+// nakedSub subtracts a raw literal on the left.
+func nakedSub(t sim.Time) sim.Time {
+	return 500 - t // want `untyped literal added to or subtracted from a time-typed operand carries no unit`
+}
+
+// nakedCompare compares against a raw literal.
+func nakedCompare(t sim.Time) bool {
+	return t > 5 // want `untyped literal compared against a time-typed operand carries no unit`
+}
+
+// zeroNeutral: zero carries no dimension, so it mixes freely.
+func zeroNeutral(t sim.Time) bool {
+	return t > 0 && t != 0
+}
+
+// unitSpelled builds the literal from unit constants: fine.
+func unitSpelled(t sim.Time) sim.Time {
+	return t + 100*sim.Millisecond
+}
+
+// constructed uses the named constructor: fine.
+func constructed(t sim.Time) bool {
+	return t < sim.Seconds(1.5)
+}
+
+// scaling by untyped constants is dimensionally sound.
+func scaled(t sim.Time) sim.Time {
+	return 2*t + t/4
+}
+
+// timesSquared multiplies two times.
+func timesSquared(a, b sim.Time) sim.Time {
+	return a * b // want `time × time has no meaning in this unit system`
+}
+
+// scalingIdiom converts a count explicitly: the stdlib idiom, fine —
+// including the conversion it contains.
+func scalingIdiom(gap sim.Time, i int) sim.Time {
+	return gap * sim.Time(i)
+}
+
+// rawIn converts a plain number into the unit.
+func rawIn(ns int64) sim.Time {
+	return sim.Time(ns) // want `raw conversion into the time unit`
+}
+
+// rawInFloat converts a computed float in.
+func rawInFloat(x float64) sim.Time {
+	return sim.Time(x * 1e9) // want `raw conversion into the time unit`
+}
+
+// zeroIn is unit-neutral.
+func zeroIn() sim.Time {
+	return sim.Time(0)
+}
+
+// rawOut escapes the unit to a plain integer.
+func rawOut(t sim.Time) int64 {
+	return int64(t) // want `raw conversion out of the time unit discards its dimension`
+}
+
+// rawOutFloat escapes to float.
+func rawOutFloat(t sim.Time) float64 {
+	return float64(t) // want `raw conversion out of the time unit discards its dimension`
+}
+
+// accessor reads through the audited helper: fine.
+func accessor(t sim.Time) float64 {
+	return t.Nanos() / sim.Second.Nanos()
+}
+
+// crossUnit launders a rate into a time.
+func crossUnit(r sim.Rate) sim.Time {
+	return sim.Time(r) // want `raw conversion from rate to time crosses dimensions`
+}
+
+// crossUnitBytes launders bytes into a rate.
+func crossUnitBytes(b sim.Bytes) sim.Rate {
+	return sim.Rate(b) // want `raw conversion from bytes to rate crosses dimensions`
+}
+
+// chokepoint goes through the audited helper: fine.
+func chokepoint(b sim.Bytes, r sim.Rate) sim.Time {
+	return sim.TxTime(b, r)
+}
+
+// mixedDims: rate-typed naked literal rules fire per dimension.
+func mixedDims(r sim.Rate) bool {
+	return r >= 10_000_000 // want `untyped literal compared against a rate-typed operand carries no unit`
+}
+
+// suppressed keeps a justified raw conversion.
+func suppressed(t sim.Time) int64 {
+	//simlint:ignore unitsafety wire format needs the raw nanosecond count
+	return int64(t)
+}

@@ -1,0 +1,239 @@
+// Package unitsafety implements the simlint analyzer that gives the
+// module's unit-bearing arithmetic a dimension check. The kernel measures
+// virtual time in sim.Time nanoseconds, link rates in bits per second, and
+// packet sizes in bytes; the Linux MPTCP schedulers this repository models
+// (mptcp_ecf.c and friends) are a catalog of how usec RTTs × byte counts ×
+// Mbps rates silently mix into corrupted metrics. Go's type system already
+// refuses to mix two different named types — what it cannot see is a raw
+// conversion that launders a number across dimensions, or an untyped
+// literal whose unit exists only in the author's head. This analyzer
+// closes those two holes for every type registered in the unit table:
+//
+//   - additive mixing with naked literals: t + 1000, t < 5 — an untyped
+//     non-zero constant added to or compared against a unit-typed operand
+//     has no unit; spell it in unit constants (100*sim.Millisecond) or
+//     build it with a constructor (sim.Seconds(5)). Zero is unit-neutral
+//     and exempt, and scaling by untyped constants (2*t, t/2) is fine;
+//   - unit × unit products: time times time is not a time, yet Go types it
+//     as one. The only accepted shape is the stdlib's scaling idiom where
+//     one operand is an explicit conversion from a non-unit count
+//     (gap*sim.Time(i), mirroring 2*time.Second's typed cousin);
+//   - raw conversions: sim.Time(x) from a plain number, or int64(t) /
+//     float64(t) back out, bypass the unit system entirely. Outside the
+//     unit's defining package — the audited chokepoint that owns the
+//     representation and publishes the named converters (sim.Seconds,
+//     sim.Millis, Time.Sec, Time.Nanos, sim.TxTime for rate·time↔bytes) —
+//     every such conversion is a finding, as is any conversion directly
+//     between two different units.
+//
+// The unit table names sim.Time today and reserves sim.Rate and sim.Bytes
+// for the rate- and byte-typed APIs the scheduler matrix will introduce;
+// registering a type is one line here.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"mptcpsim/internal/lint"
+)
+
+// Analyzer is the dimensional checker.
+var Analyzer = &lint.Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag unit-typed arithmetic mixing naked literals, unit×unit products, and raw conversions outside the defining package's audited helpers",
+	Run:  run,
+}
+
+// units maps qualified type names to dimension names. sim.Rate and
+// sim.Bytes do not exist yet; their entries activate the moment the types
+// are declared (and are exercised against stubs in testdata).
+var units = map[string]string{
+	"mptcpsim/internal/sim.Time":  "time",
+	"mptcpsim/internal/sim.Rate":  "rate",
+	"mptcpsim/internal/sim.Bytes": "bytes",
+}
+
+// unitOf returns the dimension name and defining package path when t is a
+// registered unit type.
+func unitOf(t types.Type) (dim, defPkg string, ok bool) {
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	dim, ok = units[obj.Pkg().Path()+"."+obj.Name()]
+	return dim, obj.Pkg().Path(), ok
+}
+
+func run(pass *lint.Pass) error {
+	// blessed marks conversion nodes accepted as the scaling idiom by the
+	// product rule; ast.Inspect visits the enclosing BinaryExpr before its
+	// operands, so the set is populated before checkConversion sees them.
+	blessed := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, blessed, n)
+			case *ast.CallExpr:
+				checkConversion(pass, blessed, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBinary applies the additive-literal and unit-product rules.
+func checkBinary(pass *lint.Pass, blessed map[ast.Node]bool, b *ast.BinaryExpr) {
+	xDim, xPkg, xUnit := unitOf(pass.Info.TypeOf(b.X))
+	yDim, yPkg, yUnit := unitOf(pass.Info.TypeOf(b.Y))
+	if !xUnit && !yUnit {
+		return
+	}
+	// The defining package owns the representation and may do raw
+	// arithmetic (it is where the audited helpers live).
+	if (xUnit && pass.Pkg.Path() == xPkg) || (yUnit && pass.Pkg.Path() == yPkg) {
+		return
+	}
+
+	switch b.Op.String() {
+	case "+", "-", "<", ">", "<=", ">=", "==", "!=":
+		dim := xDim
+		if !xUnit {
+			dim = yDim
+		}
+		if xUnit && nakedConstant(pass, b.Y) {
+			pass.Reportf(b.Y.Pos(), "untyped literal %s a %s-typed operand carries no unit; spell it in unit constants or build it with a named constructor", opVerb(b.Op.String()), dim)
+		}
+		if yUnit && nakedConstant(pass, b.X) {
+			pass.Reportf(b.X.Pos(), "untyped literal %s a %s-typed operand carries no unit; spell it in unit constants or build it with a named constructor", opVerb(b.Op.String()), dim)
+		}
+	case "*":
+		if xUnit && yUnit && xDim == yDim {
+			switch {
+			case scalarConstant(pass, b.X) || scalarConstant(pass, b.Y):
+				// An untyped literal scalar (2*t): the checker typed it as
+				// the unit, but syntactically it is a dimensionless count.
+			case scalarConversion(pass, b.X):
+				blessed[ast.Unparen(b.X)] = true
+			case scalarConversion(pass, b.Y):
+				blessed[ast.Unparen(b.Y)] = true
+			default:
+				pass.Reportf(b.Pos(), "%s × %s has no meaning in this unit system; scale with an untyped constant or an explicit count conversion, or convert through a named helper", xDim, yDim)
+			}
+		}
+	}
+}
+
+// nakedConstant reports whether e is a non-zero constant expression spelled
+// without any unit-typed named constant — a raw number whose dimension
+// exists only in the author's head. Constants composed from unit constants
+// (100*sim.Millisecond) reference a unit-typed identifier and are fine.
+func nakedConstant(pass *lint.Pass, e ast.Expr) bool {
+	return scalarConstant(pass, e) && !isZero(pass, e)
+}
+
+// scalarConstant reports whether e is a constant expression that mentions
+// no unit-typed named constant (syntactically dimensionless, whatever type
+// the checker gave it by conversion).
+func scalarConstant(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	hasUnitIdent := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !hasUnitIdent
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if _, ok := obj.(*types.Const); ok {
+				if _, _, isUnit := unitOf(obj.Type()); isUnit {
+					hasUnitIdent = true
+				}
+			}
+		}
+		return !hasUnitIdent
+	})
+	return !hasUnitIdent
+}
+
+// isZero reports whether e is the constant zero (unit-neutral).
+func isZero(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if v := constant.ToFloat(tv.Value); v.Kind() == constant.Float {
+		f, _ := constant.Float64Val(v)
+		return f == 0
+	}
+	return false
+}
+
+// scalarConversion reports whether e is an explicit conversion of a
+// non-unit value into a unit type — the deliberate scaling idiom
+// (sim.Time(i) * gap).
+func scalarConversion(pass *lint.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	_, _, argUnit := unitOf(pass.Info.TypeOf(call.Args[0]))
+	return !argUnit
+}
+
+// checkConversion applies the raw-conversion rule: unit↔plain and
+// unit↔unit conversions belong in the unit's defining package.
+func checkConversion(pass *lint.Pass, blessed map[ast.Node]bool, call *ast.CallExpr) {
+	if blessed[call] {
+		return // the scaling-idiom operand accepted by checkBinary
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dstDim, dstPkg, dstUnit := unitOf(tv.Type)
+	srcDim, srcPkg, srcUnit := unitOf(pass.Info.TypeOf(call.Args[0]))
+	switch {
+	case dstUnit && srcUnit && dstDim != srcDim:
+		// Cross-unit laundering: never raw, not even in a definer.
+		if pass.Pkg.Path() != dstPkg && pass.Pkg.Path() != srcPkg {
+			pass.Reportf(call.Pos(), "raw conversion from %s to %s crosses dimensions; go through a named conversion helper in the unit packages", srcDim, dstDim)
+		}
+	case dstUnit && !srcUnit:
+		if pass.Pkg.Path() != dstPkg && !zeroArg(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "raw conversion into the %s unit; construct the value with the defining package's named helpers or unit constants", dstDim)
+		}
+	case srcUnit && !dstUnit:
+		if pass.Pkg.Path() != srcPkg {
+			pass.Reportf(call.Pos(), "raw conversion out of the %s unit discards its dimension; read the value through the defining package's named accessors", srcDim)
+		}
+	}
+}
+
+// zeroArg exempts conversions of the constant zero (sim.Time(0)): zero is
+// unit-neutral.
+func zeroArg(pass *lint.Pass, e ast.Expr) bool {
+	return isZero(pass, e)
+}
+
+func opVerb(op string) string {
+	switch op {
+	case "+", "-":
+		return "added to or subtracted from"
+	default:
+		return "compared against"
+	}
+}

@@ -1,0 +1,19 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"mptcpsim/internal/lint/linttest"
+	"mptcpsim/internal/lint/unitsafety"
+)
+
+func TestUnitsafety(t *testing.T) {
+	linttest.Run(t, "testdata", "unitcase", unitsafety.Analyzer)
+}
+
+// TestDefinerExempt: the unit's defining package owns the representation;
+// its raw conversions and arithmetic are the audited chokepoint and must
+// not be reported.
+func TestDefinerExempt(t *testing.T) {
+	linttest.Run(t, "testdata", "mptcpsim/internal/sim", unitsafety.Analyzer)
+}

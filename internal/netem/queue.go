@@ -83,7 +83,7 @@ func (q *queueCore) Len() int        { return len(q.buf) }
 
 // txTime is the serialization delay for size bytes at the line rate.
 func (q *queueCore) txTime(size int) sim.Time {
-	return sim.Time(int64(size) * 8 * int64(sim.Second) / q.rateBps)
+	return sim.TxTime(int64(size), q.rateBps)
 }
 
 func (q *queueCore) arrive(p *Packet) {
@@ -253,7 +253,7 @@ func (q *RED) Recv(p *Packet) {
 	// example RTO probes that keep getting dropped) don't re-decay the same
 	// span — and, crucially, do keep decaying across dropped arrivals.
 	if len(q.buf) == 0 {
-		m := float64(q.sim.Now()-q.emptyAt) / float64(q.meanPkt)
+		m := (q.sim.Now() - q.emptyAt).Nanos() / q.meanPkt.Nanos()
 		switch {
 		case m > 5000:
 			q.avg = 0

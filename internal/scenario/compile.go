@@ -151,7 +151,7 @@ func buildLink(s *sim.Sim, ls LinkSpec, idx, limit int) *CompiledLink {
 	case QueueDropTail:
 		cfg.Kind = netem.QueueDropTail
 		cfg.DropTailPkts = ls.BufferPkts // 0 keeps the 100-packet default
-	default:
+	case QueueRED, "": // empty means RED; Validate rejects anything else
 		cfg.Kind = netem.QueueRED
 		if ls.BufferPkts > 0 {
 			red := netem.PaperRED(cfg.RateBps)
@@ -248,7 +248,7 @@ func (n *Net) buildFlow(fi, replica, flowID int) *Flow {
 func (n *Net) startAt(fs *FlowSpec) sim.Time {
 	at := sim.Seconds(fs.StartSec)
 	if fs.StartJitter {
-		at += sim.Time(n.Sim.Rand().Int63n(int64(startSpread)))
+		at += sim.RandBelow(n.Sim.Rand(), startSpread)
 	}
 	return at
 }

@@ -216,7 +216,7 @@ func (t *Src) CwndPkts() float64 { return t.cwnd / float64(t.cfg.MSS) }
 func (t *Src) CwndBytes() float64 { return t.cwnd }
 
 // SRTT reports the smoothed RTT estimate in seconds (0 until first sample).
-func (t *Src) SRTT() float64 { return t.srtt / float64(sim.Second) }
+func (t *Src) SRTT() float64 { return t.srtt / sim.Second.Nanos() }
 
 // InCA reports whether the sender is in congestion avoidance (as opposed to
 // slow start); fast recovery counts as congestion avoidance.
@@ -396,7 +396,7 @@ func (t *Src) rto() sim.Time {
 	if !t.rttSeen {
 		base = sim.Second // RFC 6298 initial RTO
 	} else {
-		base = sim.Time(t.srtt + 4*t.rttvar)
+		base = sim.FromNanos(t.srtt + 4*t.rttvar)
 	}
 	if base < t.cfg.MinRTO {
 		base = t.cfg.MinRTO
@@ -575,7 +575,7 @@ func (t *Src) newAck(ackSeq int64, p *netem.Packet) {
 
 	// RTT sample (Karn's rule: skip if the echoed segment was a retransmit).
 	if !p.Retx {
-		t.rttSample(float64(t.sim.Now() - p.EchoTS))
+		t.rttSample((t.sim.Now() - p.EchoTS).Nanos())
 	}
 
 	if t.inRecovery {

@@ -79,7 +79,7 @@ func trim(s *sim.Sim, name string) *netem.Pipe {
 
 // jitterStart returns a randomized start time within the spread window.
 func jitterStart(s *sim.Sim) sim.Time {
-	return sim.Time(s.Rand().Int63n(int64(startSpread)))
+	return sim.RandBelow(s.Rand(), startSpread)
 }
 
 // TCPUser bundles one regular TCP user's endpoints.

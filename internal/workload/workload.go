@@ -104,7 +104,7 @@ func (g *ShortFlows) expGap() sim.Time {
 	for u == 0 {
 		u = g.s.Rand().Float64()
 	}
-	d := sim.Time(-math.Log(u) * float64(g.meanGap))
+	d := sim.FromNanos(-math.Log(u) * g.meanGap.Nanos())
 	if d < sim.Microsecond {
 		d = sim.Microsecond
 	}
