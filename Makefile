@@ -84,8 +84,12 @@ bench-tables:
 # the committed baseline (testdata/bench_baseline.json). Fails on >15%
 # ns/op drift or any allocs/op growth (cmd/benchdiff). Benchmarks are
 # noisy on shared machines, so CI runs this as a non-blocking signal.
+# Drift tolerance (percent) for the ns/op gate; allocs/op growth is always
+# fatal. CI raises this (shared runners are noisy) — the gate still blocks.
+BENCH_TOLERANCE ?= 15
+
 benchcheck: bench
-	$(GO) run ./cmd/benchdiff testdata/bench_baseline.json BENCH_kernel.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOLERANCE) testdata/bench_baseline.json BENCH_kernel.json
 
 # Refresh the regression baseline after a deliberate performance change;
 # review and commit the updated file.

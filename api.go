@@ -115,6 +115,36 @@ type (
 // (empty on a healthy run).
 type ScenarioReport = scenario.RunReport
 
+// TimelineEvent, LinkSetpoint and PathFlap build a ScenarioSpec's fault
+// timeline: timestamped mid-run mutations — link shaping setpoints and
+// path up/down flaps — executed by the compiled simulation without
+// perturbing its determinism (the same spec and seed reproduce byte for
+// byte, at any worker count).
+type (
+	TimelineEvent = scenario.TimelineEvent
+	LinkSetpoint  = scenario.LinkSetpoint
+	PathFlap      = scenario.PathFlap
+)
+
+// Float builds the optional *float64 setpoint fields of a LinkSetpoint in
+// literals: LossPct: mptcpsim.Float(100) black-holes a link.
+func Float(v float64) *float64 { return scenario.Float(v) }
+
+// RateTrace expands a piecewise-constant rate trace into timeline setpoint
+// events: link holds rates[0] from startSec, rates[1] from
+// startSec+stepSec, and so on. Append the result to ScenarioSpec.Timeline,
+// keeping overall time order.
+func RateTrace(link int, startSec, stepSec float64, rates ...float64) []TimelineEvent {
+	return scenario.RateTrace(link, startSec, stepSec, rates...)
+}
+
+// GenFuzzSpec deterministically rebuilds scenario index of a fuzz campaign
+// anchored at seed — the replay entry for fuzz failures: run the returned
+// spec with Lab.Run and inspect the report's Violations.
+func GenFuzzSpec(seed int64, index int) ScenarioSpec {
+	return *scenario.GenSpec(seed, index)
+}
+
 // PaperScenarioA expresses the paper's Fig. 1(a) testbed as a spec: N1
 // type1 multipath users download over a private path and a path continuing
 // across the shared AP; N2 type2 TCP users cross the shared AP alone.

@@ -141,7 +141,10 @@ func BenchmarkRegistryParallelMax(b *testing.B) { benchRegistry(b, 0) }
 // --- Library micro-benchmarks ---
 
 // BenchmarkSimulateTwoPath measures the end-to-end cost of the public
-// Simulate API on a 10-second two-path scenario.
+// Simulate API on a 10-second two-path scenario. The seed is fixed so
+// every iteration runs the identical trajectory: allocs/op is then exact
+// at any iteration count, which is what lets benchcheck hold it to zero
+// growth (a per-iteration seed made the mean drift with b.N).
 func BenchmarkSimulateTwoPath(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -149,7 +152,7 @@ func BenchmarkSimulateTwoPath(b *testing.B) {
 			Algorithm:   "olia",
 			Paths:       []Path{{RateMbps: 10, BackgroundTCP: 3}, {RateMbps: 10, BackgroundTCP: 3}},
 			DurationSec: 10,
-			Seed:        int64(i + 1),
+			Seed:        1,
 		})
 		if err != nil {
 			b.Fatal(err)

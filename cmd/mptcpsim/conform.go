@@ -26,9 +26,11 @@ func conformMain(ctx context.Context, args []string) {
 		jobs     = fs.Int("j", 0, "parallel simulation workers (0 = all CPUs)")
 		smoke    = fs.Bool("smoke", false, "CI scale: 40 fuzz scenarios, 20 s conformance windows")
 		jsonOut  = fs.Bool("json", false, "emit the reports as one JSON object")
+		fuzzOnly = fs.Bool("fuzz-only", false, "run the fuzzer only, skipping the conformance suite")
+		replay   = fs.Int("replay", -1, "re-run one fuzz scenario by index (with -seed) and print its report")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mptcpsim conform [-n N] [-seed S] [-duration sec] [-seeds K] [-j W] [-smoke] [-json]")
+		fmt.Fprintln(os.Stderr, "usage: mptcpsim conform [-n N] [-seed S] [-duration sec] [-seeds K] [-j W] [-smoke] [-fuzz-only] [-replay I] [-json]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -38,15 +40,22 @@ func conformMain(ctx context.Context, args []string) {
 
 	meter := newMeter()
 	lab := mptcpsim.NewLab(mptcpsim.WithWorkers(*jobs), mptcpsim.WithProgress(meter.observe))
+	if *replay >= 0 {
+		replayMain(ctx, lab, *seed, *replay, *jsonOut)
+		return
+	}
 	t0 := time.Now()
 	fuzz, err := lab.Fuzz(ctx, mptcpsim.FuzzOptions{N: *n, Seed: *seed})
 	if err != nil {
 		meter.clear()
 		exitOn(err, "interrupted")
 	}
-	conf, err := lab.Conform(ctx, mptcpsim.ConformanceOptions{
-		DurationSec: *duration, Seeds: *seeds,
-	})
+	var conf *mptcpsim.ConformanceReport
+	if !*fuzzOnly {
+		conf, err = lab.Conform(ctx, mptcpsim.ConformanceOptions{
+			DurationSec: *duration, Seeds: *seeds,
+		})
+	}
 	meter.clear()
 	if err != nil {
 		exitOn(err, "interrupted")
@@ -55,7 +64,7 @@ func conformMain(ctx context.Context, args []string) {
 	if *jsonOut {
 		out := struct {
 			Fuzz        *mptcpsim.FuzzReport        `json:"fuzz"`
-			Conformance *mptcpsim.ConformanceReport `json:"conformance"`
+			Conformance *mptcpsim.ConformanceReport `json:"conformance,omitempty"`
 		}{fuzz, conf}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -64,16 +73,56 @@ func conformMain(ctx context.Context, args []string) {
 			os.Exit(1)
 		}
 	} else {
-		renderConform(fuzz, conf)
+		renderFuzz(fuzz)
+		if conf != nil {
+			renderConformance(conf)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "(conform total %v)\n", time.Since(t0).Round(time.Millisecond))
-	if fuzz.Failed() || conf.Failed() {
+	if fuzz.Failed() || (conf != nil && conf.Failed()) {
 		os.Exit(1)
 	}
 }
 
-// renderConform prints the human-readable campaign summary.
-func renderConform(fuzz *mptcpsim.FuzzReport, conf *mptcpsim.ConformanceReport) {
+// replayMain re-runs one fuzz scenario by campaign seed and index — the
+// command each fuzz failure prints — and exits 1 if it still violates an
+// invariant.
+func replayMain(ctx context.Context, lab *mptcpsim.Lab, seed int64, index int, jsonOut bool) {
+	sp := mptcpsim.GenFuzzSpec(seed, index)
+	rep, err := lab.Run(ctx, sp)
+	if err != nil {
+		exitOn(err, "interrupted")
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mptcpsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		verdict := "all invariants held"
+		if len(rep.Violations) > 0 {
+			verdict = fmt.Sprintf("%d violations", len(rep.Violations))
+		}
+		fmt.Printf("replay: scenario %d (%s) under campaign seed %d — %s\n",
+			index, sp.Name, seed, verdict)
+		for _, f := range rep.Flows {
+			fmt.Printf("  flow %-10s %-12s %7.3f Mb/s  %d timeouts\n",
+				f.Name, f.Algorithm, f.GoodputMbps, f.Timeouts)
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+	}
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// renderFuzz prints the fuzz campaign summary; each failure carries the
+// one-line command that replays it in isolation.
+func renderFuzz(fuzz *mptcpsim.FuzzReport) {
 	verdict := "all invariants held"
 	if fuzz.Failed() {
 		verdict = fmt.Sprintf("%d scenarios FAILED", len(fuzz.Failures))
@@ -85,8 +134,12 @@ func renderConform(fuzz *mptcpsim.FuzzReport, conf *mptcpsim.ConformanceReport) 
 		for _, v := range f.Violations {
 			fmt.Printf("    %s\n", v)
 		}
+		fmt.Printf("    replay: mptcpsim conform -seed %d -replay %d\n", fuzz.Seed, f.Index)
 	}
+}
 
+// renderConformance prints the cross-model suite summary.
+func renderConformance(conf *mptcpsim.ConformanceReport) {
 	fmt.Printf("conformance: packet-level vs fluid equilibrium, per-path goodput shares (tolerance ±%.2f)\n",
 		conf.Tolerance)
 	fmt.Printf("  %-8s %-10s %-7s %-9s %s\n", "topology", "algo", "Δshare", "verdict", "sim vs model shares")
@@ -100,7 +153,7 @@ func renderConform(fuzz *mptcpsim.FuzzReport, conf *mptcpsim.ConformanceReport) 
 			shareString(c.SimShares), shareString(c.ModelShares))
 	}
 	fp := conf.FixedPoint
-	verdict = "pass"
+	verdict := "pass"
 	if !fp.Pass {
 		verdict = "FAIL"
 	}

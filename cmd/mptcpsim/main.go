@@ -15,6 +15,8 @@
 //	mptcpsim diff -tol 5 old.json new.json   # tolerate 5% relative drift
 //	mptcpsim conform                         # scenario fuzzer + cross-model suite
 //	mptcpsim conform -smoke                  # CI scale (40 scenarios, 20 s windows)
+//	mptcpsim conform -fuzz-only              # invariant fuzzer alone
+//	mptcpsim conform -seed 1 -replay 42      # re-run one fuzz scenario by index
 //
 // Independent simulations (experiments × sweep points × seeds) run
 // concurrently on -j workers (default: all CPUs); every RNG seed derives

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"mptcpsim/internal/runner"
 )
 
 // The Lab API's typed error family. Every error returned by a Lab method
@@ -29,6 +31,16 @@ var (
 	// (it wraps the ctx.Err(), so context.Canceled/DeadlineExceeded still
 	// match through it).
 	ErrCanceled = errors.New("run canceled")
+	// ErrJobPanic marks a collection in which a simulation job panicked.
+	// The panic is recovered inside the worker pool — sibling jobs and
+	// experiments complete normally — and the cause chain carries a
+	// *runner.PanicError with the crashed job's index, panic value and
+	// stack.
+	ErrJobPanic = runner.ErrJobPanic
+	// ErrWatchdog marks a Lab.Run abandoned because it exceeded the
+	// wall-clock budget set with WithWatchdog. It also matches
+	// context.DeadlineExceeded through the cause chain.
+	ErrWatchdog = errors.New("watchdog expired")
 )
 
 // Error is the concrete error type of the Lab API boundary.

@@ -1,15 +1,20 @@
 // Wireless-handover example: responsiveness to a changing environment,
 // motivated by the paper's discussion of Chen et al.'s WiFi/cellular
-// measurements. A two-path OLIA user starts on two equally good links; at
-// t = 40 s a crowd of eight TCP transfers joins link 2 (a congested WiFi
-// cell) and leaves after finishing ~5 MB each.
+// measurements. A two-path OLIA user shares two equally good links with
+// background TCP; then the network changes under its feet — not by
+// composing separate runs, but through the scenario's fault timeline,
+// executed inside ONE continuous deterministic simulation:
 //
-// The whole episode is one declarative scenario run through the Lab
-// engine. Because a run is deterministic per seed, measuring three
-// different windows of the same trajectory — before, during and after the
-// crowd — just means running the identical spec with three measurement
-// windows: the per-path goodput split shows OLIA moving its traffic to
-// the healthy path within seconds and re-balancing when capacity returns.
+//   - t = 30..40 s: link 2 (the congested WiFi cell) degrades in steps,
+//     10 → 6 → 3 → 1 Mb/s (a RateTrace);
+//   - t = 50 s: path 2 goes down entirely — the handover outage — freezing
+//     every sender routed over it instead of letting RTOs stampede;
+//   - t = 60 s: the path comes back up and the cell's full rate returns.
+//
+// The run is deterministic per (spec, seed) — the committed golden under
+// testdata/ is byte-identical on every machine — and the report's per-path
+// split shows OLIA moving its traffic to the healthy path while the
+// invariant monitor holds through every transition.
 //
 //	go run ./examples/wireless_handover
 package main
@@ -17,19 +22,20 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mptcpsim"
 )
 
-// handoverSpec is the fixed trajectory: two 10 Mb/s RED links with two
-// long-lived TCP flows each, one OLIA user across both, and a crowd of
-// eight 5 MB transfers hitting link 2 from t = 40 s (staggered 20 ms
-// apart, as a real burst of arrivals would be).
-func handoverSpec(warmupSec, durationSec float64) mptcpsim.ScenarioSpec {
+// handoverSpec is the whole trajectory as one spec: two 10 Mb/s RED links
+// with two long-lived TCP flows each, one OLIA user across both, and the
+// degradation/outage/recovery episode on the fault timeline.
+func handoverSpec() mptcpsim.ScenarioSpec {
 	sp := mptcpsim.ScenarioSpec{
 		Name: "wireless-handover", Seed: 3,
-		WarmupSec: warmupSec, DurationSec: durationSec,
+		WarmupSec: 5, DurationSec: 85, // one window over the full [5, 90]s episode
 		Links: []mptcpsim.ScenarioLink{{RateMbps: 10}, {RateMbps: 10}},
 		Paths: []mptcpsim.ScenarioPath{
 			{Links: []int{0}, DelayMs: 40},
@@ -41,47 +47,66 @@ func handoverSpec(warmupSec, durationSec float64) mptcpsim.ScenarioSpec {
 			{Name: "bg2", Algorithm: "tcp", Paths: []int{1}, Count: 2},
 		},
 	}
-	for i := 0; i < 8; i++ {
-		sp.Flows = append(sp.Flows, mptcpsim.ScenarioFlow{
-			Name: fmt.Sprintf("crowd%d", i), Algorithm: "tcp", Paths: []int{1},
-			StartSec: 40 + 0.02*float64(i), FlowBytes: 5_000_000,
-		})
-	}
+	sp.Timeline = append(sp.Timeline, mptcpsim.RateTrace(1, 30, 5, 6, 3, 1)...)
+	sp.Timeline = append(sp.Timeline,
+		mptcpsim.TimelineEvent{AtSec: 50, Path: &mptcpsim.PathFlap{Path: 1}},
+		mptcpsim.TimelineEvent{AtSec: 60, Path: &mptcpsim.PathFlap{Path: 1, Up: true}},
+		mptcpsim.TimelineEvent{AtSec: 60, Link: &mptcpsim.LinkSetpoint{Link: 1, RateMbps: 10}},
+	)
 	return sp
 }
 
+// run executes the single continuous episode and writes the report; split
+// out of main so the golden test locks the exact bytes.
+func run(w io.Writer) error {
+	rep, err := mptcpsim.NewLab().Run(context.Background(), handoverSpec())
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) != 0 {
+		return fmt.Errorf("invariant violations through the fault timeline: %v", rep.Violations)
+	}
+
+	// Flow reports come back in spec order with Count expansion, so the
+	// per-subflow goodputs can be folded onto the link each path crosses.
+	sp := handoverSpec()
+	var flowPaths [][]int
+	for _, f := range sp.Flows {
+		n := f.Count
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flowPaths = append(flowPaths, f.Paths)
+		}
+	}
+
+	fmt.Fprintln(w, "wireless handover: one 90 s run, faults injected on the timeline")
+	fmt.Fprintln(w, "  t=30..40s link 2 degrades 10->6->3->1 Mb/s; t=50s path 2 down; t=60s restored")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "flow    algo  link-1 (Mb/s)  link-2 (Mb/s)  total (Mb/s)  timeouts")
+	for i, f := range rep.Flows {
+		var onLink [2]float64
+		for j, p := range flowPaths[i] {
+			onLink[sp.Paths[p].Links[0]] += f.PathMbps[j]
+		}
+		fmt.Fprintf(w, "%-7s %-5s %13.2f  %13.2f  %12.2f  %8d\n",
+			f.Name, f.Algorithm, onLink[0], onLink[1], f.GoodputMbps, f.Timeouts)
+	}
+	user := rep.Flows[0] // the OLIA user is the first flow in the spec
+	share := 0.0
+	if user.GoodputMbps > 0 {
+		share = user.PathMbps[1] / user.GoodputMbps
+	}
+	fmt.Fprintf(w, "\nuser's link-2 share over the episode: %.1f%%\n", 100*share)
+	fmt.Fprintln(w, "Expected shape: well under 50% — the cell spends a third of the run")
+	fmt.Fprintln(w, "degraded or dark and OLIA shifts that traffic to the healthy path;")
+	fmt.Fprintln(w, "frozen senders ride out the outage without an RTO storm.")
+	return nil
+}
+
 func main() {
-	lab := mptcpsim.NewLab()
-	ctx := context.Background()
-
-	windows := []struct {
-		name           string
-		warmup, length float64
-	}{
-		{"before the crowd  [  5, 35]s", 5, 30},
-		{"crowd on link 2   [ 45, 75]s", 45, 30},
-		{"after the crowd   [ 90,120]s", 90, 30},
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-
-	fmt.Println("window                        w1 (Mb/s)  w2 (Mb/s)  link-2 share")
-	for _, w := range windows {
-		rep, err := lab.Run(ctx, handoverSpec(w.warmup, w.length))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(rep.Violations) != 0 {
-			log.Fatalf("invariant violations: %v", rep.Violations)
-		}
-		user := rep.Flows[0] // the OLIA user is the first flow in the spec
-		share := 0.0
-		if user.GoodputMbps > 0 {
-			share = user.PathMbps[1] / user.GoodputMbps
-		}
-		fmt.Printf("%s  %9.2f  %9.2f  %11.1f%%\n",
-			w.name, user.PathMbps[0], user.PathMbps[1], 100*share)
-	}
-
-	fmt.Println("\nExpected shape: the link-2 share collapses once the crowd arrives while")
-	fmt.Println("path 1 grows to compensate (the α term moving traffic to the best path),")
-	fmt.Println("then the split re-balances after the crowd drains.")
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden file from this run")
+
+// TestGoldenOutput locks the example's full output byte for byte: one
+// continuous run under one seed, with the fault timeline applied mid-run,
+// reproduces identically on every machine. Regenerate after an intentional
+// behavior change with:
+//
+//	go test ./examples/wireless_handover -run TestGoldenOutput -update
+func TestGoldenOutput(t *testing.T) {
+	var got bytes.Buffer
+	if err := run(&got); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}

@@ -23,6 +23,9 @@ import (
 // Collect functions keep merging those zeros — cheap, pure arithmetic —
 // and CollectResult discards the bogus result when it re-checks the
 // context, so the error path stays out of every experiment's merge logic.
+// A job panic follows the same shape: runner.Map recovers it, the sweep
+// records the typed error on the configuration's failure slot, and
+// CollectResult surfaces it after Collect merges the zeros.
 func sweep[P, T any](cfg Config, points []P, fn func(p P, seed int64) T) [][]T {
 	seeds := cfg.Seeds
 	if seeds < 1 {
@@ -30,10 +33,11 @@ func sweep[P, T any](cfg Config, points []P, fn func(p P, seed int64) T) [][]T {
 	}
 	n := len(points) * seeds
 	cfg.noteJobs(n)
-	flat, _ := runner.Map(cfg.context(), cfg.workerPool(), n, func(i int) T {
+	flat, err := runner.Map(cfg.context(), cfg.workerPool(), n, func(i int) T {
 		defer cfg.jobDone()
 		return fn(points[i/seeds], cfg.BaseSeed+int64(i%seeds))
 	})
+	cfg.noteFailure(err)
 	out := make([][]T, len(points))
 	for i := range points {
 		out[i] = flat[i*seeds : (i+1)*seeds]
@@ -43,12 +47,13 @@ func sweep[P, T any](cfg Config, points []P, fn func(p P, seed int64) T) [][]T {
 
 // perPoint runs fn once per point on the worker pool (for studies that use
 // a single repetition at cfg.BaseSeed, such as the ablations) and returns
-// the results in point order. Cancellation behaves as in sweep.
+// the results in point order. Cancellation and panics behave as in sweep.
 func perPoint[P, T any](cfg Config, points []P, fn func(p P) T) []T {
 	cfg.noteJobs(len(points))
-	out, _ := runner.Map(cfg.context(), cfg.workerPool(), len(points), func(i int) T {
+	out, err := runner.Map(cfg.context(), cfg.workerPool(), len(points), func(i int) T {
 		defer cfg.jobDone()
 		return fn(points[i])
 	})
+	cfg.noteFailure(err)
 	return out
 }

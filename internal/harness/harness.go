@@ -11,9 +11,11 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
@@ -86,6 +88,43 @@ type Config struct {
 	// (runner.Progress serializes counter updates with their emissions so
 	// the EventJobs stream is monotone).
 	jobs *runner.Progress
+	// fail collects sweep-level failures (recovered job panics) for one
+	// experiment's collection. Installed per CollectResult call: sweeps keep
+	// merging zero values so no merge logic grows an error path, and
+	// CollectResult surfaces the recorded failure instead of the bogus
+	// result.
+	fail *failSlot
+}
+
+// failSlot records the first sweep failure of one collection. Sweeps of one
+// experiment can run from concurrent goroutines, hence the lock.
+type failSlot struct {
+	mu  sync.Mutex
+	err error
+}
+
+// noteFailure records a sweep error, keeping the first. Context errors are
+// not recorded: cancellation is detected and reported by CollectResult's
+// own context re-check, with its established error shape.
+func (cfg Config) noteFailure(err error) {
+	if err == nil || cfg.fail == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	cfg.fail.mu.Lock()
+	if cfg.fail.err == nil {
+		cfg.fail.err = err
+	}
+	cfg.fail.mu.Unlock()
+}
+
+// failure returns the first recorded sweep failure, if any.
+func (cfg Config) failure() error {
+	if cfg.fail == nil {
+		return nil
+	}
+	cfg.fail.mu.Lock()
+	defer cfg.fail.mu.Unlock()
+	return cfg.fail.err
 }
 
 // SetProgress installs a progress sink on the configuration: every
@@ -230,6 +269,12 @@ type Experiment struct {
 // stamps the registry metadata onto the Result. Cancelling ctx stops the
 // experiment's simulation jobs at the next job boundary and returns an
 // error wrapping ctx.Err(); any partially collected result is discarded.
+//
+// A simulation job that panics is recovered inside the worker pool (see
+// runner.Map): the experiment's remaining jobs complete, the merged result
+// is discarded, and CollectResult returns the *runner.PanicError — wrapping
+// runner.ErrJobPanic — with the crash stack attached. Sibling experiments
+// sharing the pool are unaffected.
 func (e *Experiment) CollectResult(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -241,6 +286,7 @@ func (e *Experiment) CollectResult(ctx context.Context, cfg Config) (*Result, er
 	if cfg.jobs == nil {
 		cfg.jobs = cfg.newJobCounter()
 	}
+	cfg.fail = &failSlot{}
 	r, err := e.Collect(cfg)
 	if err != nil {
 		return nil, err
@@ -249,6 +295,10 @@ func (e *Experiment) CollectResult(ctx context.Context, cfg Config) (*Result, er
 	// whatever Collect merged from them is not a real result.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: %s: collection canceled: %w", e.ID, err)
+	}
+	// Likewise a crashed sweep: some job never produced its value.
+	if err := cfg.failure(); err != nil {
+		return nil, err
 	}
 	r.ID, r.PaperRef, r.Title = e.ID, e.PaperRef, e.Title
 	return r, nil

@@ -1,0 +1,49 @@
+package mptcp
+
+import (
+	"testing"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/sim"
+)
+
+// TestPathFlapDegradesGracefully: taking one subflow of an OLIA connection
+// down must stop that subflow's transmissions while the other keeps
+// delivering; bringing it back must restore two-path operation.
+func TestPathFlapDegradesGracefully(t *testing.T) {
+	rig := newTwoLinkRig(1, rate10M, 0, 0, core.NewOLIA())
+	rig.conn.Start(0)
+	rig.run(5 * sim.Second)
+	if !rig.conn.PathUp(0) || !rig.conn.PathUp(1) {
+		t.Fatal("paths should start up")
+	}
+
+	rig.s.At(5*sim.Second, func() { rig.conn.SetPathUp(0, false) })
+	rig.run(5*sim.Second + 200*sim.Millisecond) // let in-flight data drain
+	if rig.conn.PathUp(0) {
+		t.Fatal("path 0 should be down")
+	}
+	down0 := rig.subGoodput(0)
+	mid1 := rig.subGoodput(1)
+
+	rig.run(10 * sim.Second)
+	if got := rig.subGoodput(0); got != down0 {
+		t.Fatalf("down subflow delivered %g new bytes during outage", got-down0)
+	}
+	if got := rig.subGoodput(1); got <= mid1 {
+		t.Fatal("surviving subflow made no progress during the outage")
+	}
+	// The down subflow must not accumulate RTO backoff during the outage.
+	if tmo := rig.conn.Subflows()[0].Src.Stats().Timeouts; tmo > 2 {
+		t.Fatalf("down subflow logged %d timeouts during outage", tmo)
+	}
+
+	rig.s.At(10*sim.Second, func() { rig.conn.SetPathUp(0, true) })
+	rig.run(20 * sim.Second)
+	if !rig.conn.PathUp(0) {
+		t.Fatal("path 0 should be up again")
+	}
+	if got := rig.subGoodput(0); got <= down0 {
+		t.Fatal("restored subflow made no progress after coming back up")
+	}
+}

@@ -154,6 +154,26 @@ func (c *Conn) StartStaggered(at, gap sim.Time) {
 	}
 }
 
+// SetPathUp flaps subflow i administratively up or down (fault injection).
+// Down freezes the subflow's sender — no transmissions, no RTO backoff, no
+// loss notifications into the coupled controller — while packets already in
+// flight drain normally; up resumes transmission, with data lost during the
+// outage recovered one timeout later. The other subflows are unaffected, so
+// a flap degrades the connection gracefully instead of stalling it.
+//
+//simlint:hot
+func (c *Conn) SetPathUp(i int, up bool) {
+	sf := c.subs[i]
+	if up {
+		sf.Src.Unfreeze()
+	} else {
+		sf.Src.Freeze()
+	}
+}
+
+// PathUp reports whether subflow i is administratively up.
+func (c *Conn) PathUp(i int) bool { return !c.subs[i].Src.Frozen() }
+
 // GoodputBytes sums in-order bytes delivered across subflows.
 func (c *Conn) GoodputBytes() int64 {
 	var total int64

@@ -43,16 +43,37 @@ func NewPipe(s *sim.Sim, delay sim.Time, name string) *Pipe {
 // Delay reports the pipe's propagation delay.
 func (pp *Pipe) Delay() sim.Time { return pp.delay }
 
+// SetDelay retargets the propagation delay from now on. Packets already in
+// flight keep the departure time computed at admission; later admissions use
+// the new delay. Safe at any point mid-run: Recv clamps each admission to
+// the current tail's departure so a delay decrease cannot reorder the ring.
+//
+//simlint:hot
+func (pp *Pipe) SetDelay(d sim.Time) {
+	if d < 0 {
+		panic("netem: negative pipe delay")
+	}
+	pp.delay = d
+}
+
 // Name identifies the pipe in traces.
 func (pp *Pipe) Name() string { return pp.name }
 
 // InFlight reports the number of packets currently crossing the pipe.
 func (pp *Pipe) InFlight() int { return pp.n }
 
-// Recv admits the packet: it will be forwarded to the next hop exactly
-// delay later. No allocation in steady state.
+// Recv admits the packet: it will be forwarded to the next hop delay later.
+// If SetDelay shrank the delay while earlier packets are still in flight,
+// the admission is clamped to the tail's departure time — the wire stays
+// FIFO, exactly as a real propagation medium would behave. With a constant
+// delay the clamp never fires. No allocation in steady state.
 func (pp *Pipe) Recv(p *Packet) {
 	at := pp.sim.Now() + pp.delay
+	if pp.n > 0 {
+		if tail := pp.ring[(pp.head+pp.n-1)&(len(pp.ring)-1)].at; at < tail {
+			at = tail
+		}
+	}
 	seq := pp.sim.ReserveSeq()
 	pp.push(pipeEntry{at: at, seq: seq, pkt: p})
 	if pp.n == 1 {

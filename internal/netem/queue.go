@@ -43,6 +43,9 @@ type Queue interface {
 	Node
 	Name() string
 	RateBps() int64
+	// SetRateBps retargets the line rate mid-run (fault injection); see
+	// queueCore.SetRateBps for the exact semantics.
+	SetRateBps(int64)
 	Stats() Counters
 	// Len reports the instantaneous backlog in packets, including the one
 	// in service.
@@ -76,8 +79,24 @@ func (q *queueCore) init(s *sim.Sim, rateBps int64, name string) {
 	q.name = name
 }
 
-func (q *queueCore) Name() string    { return q.name }
-func (q *queueCore) RateBps() int64  { return q.rateBps }
+func (q *queueCore) Name() string   { return q.name }
+func (q *queueCore) RateBps() int64 { return q.rateBps }
+
+// SetRateBps retargets the line rate mid-run. The packet currently in
+// service keeps the completion time armed when its transmission began (its
+// bits are already pacing out at the old rate); every later packet
+// serializes at the new rate as it enters service, so FIFO order, Len, and
+// the Sent counters stay exact through the transition. Buffer limits and
+// RED thresholds are physical configuration and deliberately do not scale
+// with the new rate.
+//
+//simlint:hot
+func (q *queueCore) SetRateBps(r int64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("netem: queue %q needs positive rate", q.name))
+	}
+	q.rateBps = r
+}
 func (q *queueCore) Stats() Counters { return q.stats }
 func (q *queueCore) Len() int        { return len(q.buf) }
 

@@ -34,16 +34,30 @@ type RandomLoss struct {
 	Passed  int64
 }
 
-// NewRandomLoss builds a loss element with drop probability p in [0, 1).
+// NewRandomLoss builds a loss element with drop probability p in [0, 1].
+// p = 1 black-holes the element (useful as a transient fault); p = 0 makes
+// it fully transparent and draws no randomness.
 func NewRandomLoss(s *sim.Sim, p float64) *RandomLoss {
-	if p < 0 || p >= 1 {
-		panic("netem: loss probability must be in [0, 1)")
+	if p < 0 || p > 1 {
+		panic("netem: loss probability must be in [0, 1]")
 	}
 	return &RandomLoss{sim: s, prob: p}
 }
 
 // Prob reports the configured drop probability.
 func (l *RandomLoss) Prob() float64 { return l.prob }
+
+// SetProb retargets the drop probability mid-run; packets that already
+// passed the element are unaffected. A probability of 0 consumes no
+// randomness, so an idle loss element never perturbs the RNG stream.
+//
+//simlint:hot
+func (l *RandomLoss) SetProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("netem: loss probability must be in [0, 1]")
+	}
+	l.prob = p
+}
 
 // Recv applies the Bernoulli drop test and forwards survivors.
 func (l *RandomLoss) Recv(p *Packet) {

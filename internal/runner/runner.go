@@ -32,9 +32,58 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// ErrJobPanic is the sentinel wrapped by every recovered job panic;
+// errors.Is(err, ErrJobPanic) classifies a Map failure as a crash rather
+// than a cancellation.
+var ErrJobPanic = errors.New("job panicked")
+
+// PanicError reports one recovered job panic: which job crashed, the value
+// it panicked with, and the goroutine stack captured at the panic site. It
+// wraps ErrJobPanic.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+func (e *PanicError) Unwrap() error { return ErrJobPanic }
+
+// panicRecorder keeps the lowest-index panic of one Map call, so the error
+// a caller sees does not depend on goroutine scheduling.
+type panicRecorder struct {
+	mu  sync.Mutex
+	err *PanicError
+}
+
+// wrap runs one job, converting a panic into a recorded PanicError. The
+// recover sits in the job's own frame, so the captured stack includes the
+// panic site and the pool-slot release deferred around the call still runs.
+func (r *panicRecorder) wrap(i int, run func()) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		pe := &PanicError{Job: i, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+		r.mu.Lock()
+		if r.err == nil || i < r.err.Job {
+			r.err = pe
+		}
+		r.mu.Unlock()
+	}()
+	run()
+}
 
 // Progress serializes cumulative (done, total) job-progress notifications
 // for one fan-out call. The counter update and its notification happen
@@ -128,11 +177,19 @@ func (p *Pool) acquire(ctx context.Context) bool {
 // the indices that never ran. With a background context the execution —
 // and, for deterministic fn, the results — are identical to the historical
 // context-free Map.
+//
+// A job that panics does not kill the process: the panic is recovered in
+// the job's slot (which is released normally), the remaining jobs run to
+// completion, and Map returns a *PanicError wrapping ErrJobPanic for the
+// lowest-index crashed job, with the panic value and stack attached. The
+// crashed index holds its zero value in the result slice. Both execution
+// paths recover identically, so a crash reproduces at any worker count.
 func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) T) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, ctx.Err()
 	}
+	var rec panicRecorder
 	if p.Sequential() || n == 1 {
 		if !p.acquire(ctx) {
 			return out, ctx.Err()
@@ -142,7 +199,10 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) T) ([]T, err
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i] = fn(i)
+			rec.wrap(i, func() { out[i] = fn(i) })
+		}
+		if rec.err != nil {
+			return out, rec.err
 		}
 		return out, ctx.Err()
 	}
@@ -155,9 +215,12 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) T) ([]T, err
 				return
 			}
 			defer func() { <-p.sem }()
-			out[i] = fn(i)
+			rec.wrap(i, func() { out[i] = fn(i) })
 		}(i)
 	}
 	wg.Wait()
+	if rec.err != nil {
+		return out, rec.err
+	}
 	return out, ctx.Err()
 }

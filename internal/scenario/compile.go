@@ -16,7 +16,8 @@ type CompiledLink struct {
 	Spec  LinkSpec
 	Queue netem.Queue
 	Pipe  *netem.Pipe
-	// Loss is the random-loss element, nil when LossPct is 0.
+	// Loss is the random-loss element, nil when LossPct is 0 and no
+	// timeline setpoint targets this link's loss.
 	Loss *netem.RandomLoss
 	// LimitPkts is the hard occupancy bound of Queue.
 	LimitPkts int
@@ -83,6 +84,9 @@ type Net struct {
 	// (link, reverse and per-flow access pipes) for in-flight accounting.
 	Rev   *netem.Link
 	pipes []*netem.Pipe
+	// pathFlows indexes, per Spec.Paths entry, every sender routed over
+	// that path, for timeline flap events.
+	pathFlows [][]pathRef
 }
 
 // Compile validates the spec and builds its network. Element creation
@@ -95,10 +99,18 @@ func Compile(sp *Spec) (*Net, error) {
 		return nil, err
 	}
 	s := sim.New(sp.Seed)
-	n := &Net{Spec: sp, Sim: s}
+	n := &Net{Spec: sp, Sim: s, pathFlows: make([][]pathRef, len(sp.Paths))}
+
+	// The timeline driver is armed first — before any flow-start event — so
+	// a t=0 setpoint is in effect for the very first transmission. Arming
+	// draws no randomness and adds no events to a timeline-free spec, so
+	// existing scenarios stay byte-identical.
+	if len(sp.Timeline) > 0 {
+		s.Schedule(sim.Seconds(sp.Timeline[0].AtSec), &timelineDriver{net: n})
+	}
 
 	for i, ls := range sp.Links {
-		n.Links = append(n.Links, buildLink(s, ls, i, sp.bufferLimit(i)))
+		n.Links = append(n.Links, buildLink(s, ls, i, sp.bufferLimit(i), sp.timelineTouchesLoss(i)))
 	}
 	revRate, revDelay := sp.ReverseRateMbps, sp.ReverseDelayMs
 	if revRate == 0 {
@@ -140,8 +152,11 @@ func Compile(sp *Spec) (*Net, error) {
 	return n, nil
 }
 
-// buildLink assembles one unidirectional link.
-func buildLink(s *sim.Sim, ls LinkSpec, idx, limit int) *CompiledLink {
+// buildLink assembles one unidirectional link. needLoss forces a loss
+// element even at LossPct 0 (a timeline setpoint will retarget it); an idle
+// element draws no randomness, so the spec's RNG stream is unchanged until
+// the setpoint fires.
+func buildLink(s *sim.Sim, ls LinkSpec, idx, limit int, needLoss bool) *CompiledLink {
 	name := fmt.Sprintf("link%d", idx)
 	cfg := netem.LinkConfig{
 		RateBps: int64(ls.RateMbps * 1e6),
@@ -162,7 +177,7 @@ func buildLink(s *sim.Sim, ls LinkSpec, idx, limit int) *CompiledLink {
 	cl := &CompiledLink{Spec: ls, LimitPkts: limit}
 	link := netem.NewLink(s, cfg, name)
 	cl.Queue, cl.Pipe = link.Q, link.P
-	if ls.LossPct > 0 {
+	if ls.LossPct > 0 || needLoss {
 		cl.Loss = netem.NewRandomLoss(s, ls.LossPct/100)
 	}
 	return cl
@@ -216,6 +231,7 @@ func (n *Net) buildFlow(fi, replica, flowID int) *Flow {
 		sink.SetRoute(netem.NewRoute(rev.Q, rev.P, f.AckTap, src))
 		src.Start(n.startAt(fs))
 		f.Srcs, f.Sinks = []*tcp.Src{src}, []*tcp.Sink{sink}
+		n.pathFlows[fs.Paths[0]] = append(n.pathFlows[fs.Paths[0]], pathRef{flow: f, sub: 0})
 	} else {
 		conn := mptcp.New(n.Sim, f.Name, topo.Controllers[fs.Algorithm](), cfg)
 		conn.SetKeepSlowStart(fs.KeepSlowStart)
@@ -227,6 +243,7 @@ func (n *Net) buildFlow(fi, replica, flowID int) *Flow {
 			)
 			f.Srcs = append(f.Srcs, sf.Src)
 			f.Sinks = append(f.Sinks, sf.Sink)
+			n.pathFlows[pi] = append(n.pathFlows[pi], pathRef{flow: f, sub: i})
 		}
 		conn.Start(n.startAt(fs))
 		f.Conn = conn

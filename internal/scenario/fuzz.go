@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"mptcpsim/internal/runner"
 )
@@ -130,9 +131,10 @@ var fuzzAlgos = []string{"olia", "lia", "uncoupled", "fullycoupled", AlgoTCP, Al
 
 // GenSpec deterministically builds fuzz scenario index under the campaign
 // seed: 1-4 links of varied rate/delay/discipline (some with random loss),
-// 1-4 paths crossing one or two links each, and 1-4 flow groups mixing
-// coupled multipath algorithms with plain TCP, long-lived and finite
-// workloads, jittered and fixed starts, and mid-run stops.
+// 1-4 paths crossing one or two links each, 1-4 flow groups mixing coupled
+// multipath algorithms with plain TCP, long-lived and finite workloads,
+// jittered and fixed starts, and mid-run stops — plus a fault timeline of
+// 1-5 mid-run mutations (setpoints, blackholes, path flaps).
 func GenSpec(seed int64, index int) *Spec {
 	rng := rand.New(rand.NewSource(seed + int64(index)*1_000_003))
 	sp := &Spec{
@@ -207,5 +209,52 @@ func GenSpec(seed int64, index int) *Spec {
 		}
 		sp.Flows = append(sp.Flows, f)
 	}
+
+	// Fault-injection timeline: every generated scenario carries 1-5
+	// timestamped mutations — rate, delay and loss setpoints (including
+	// full blackholes) plus down/up path flaps — so each campaign proves
+	// the time-varying invariants hundreds of times. Draws are sorted into
+	// non-decreasing order afterwards (a deterministic permutation), which
+	// keeps the generator a single forward pass over the RNG stream.
+	end := sp.WarmupSec + sp.DurationSec
+	nEvents := 1 + rng.Intn(5)
+	var evs []TimelineEvent
+	for len(evs) < nEvents {
+		at := end * rng.Float64()
+		switch rng.Intn(4) {
+		case 0:
+			// Rate setpoint, same log-uniform range as the link builder.
+			evs = append(evs, TimelineEvent{AtSec: at, Link: &LinkSetpoint{
+				Link: rng.Intn(nLinks), RateMbps: 0.5 * math.Pow(2, 4.5*rng.Float64())}})
+		case 1:
+			// Delay setpoint, sometimes with a loss change riding along.
+			ls := &LinkSetpoint{Link: rng.Intn(nLinks), DelayMs: Float(1 + 40*rng.Float64())}
+			if rng.Intn(3) == 0 {
+				ls.LossPct = Float(5 * rng.Float64())
+			}
+			evs = append(evs, TimelineEvent{AtSec: at, Link: ls})
+		case 2:
+			// Loss setpoint: clear it, light loss, or a full blackhole.
+			var pct float64
+			switch rng.Intn(3) {
+			case 1:
+				pct = 2 * rng.Float64()
+			case 2:
+				pct = 100
+			}
+			evs = append(evs, TimelineEvent{AtSec: at,
+				Link: &LinkSetpoint{Link: rng.Intn(nLinks), LossPct: Float(pct)}})
+		case 3:
+			// Path flap, usually with a later recovery.
+			p := rng.Intn(nPaths)
+			evs = append(evs, TimelineEvent{AtSec: at, Path: &PathFlap{Path: p}})
+			if rng.Intn(4) > 0 {
+				evs = append(evs, TimelineEvent{
+					AtSec: at + (end-at)*rng.Float64(), Path: &PathFlap{Path: p, Up: true}})
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].AtSec < evs[j].AtSec })
+	sp.Timeline = evs
 	return sp
 }

@@ -263,17 +263,51 @@ func checkConservation(n *Net, r *RunReport) {
 }
 
 // checkCapacity verifies that no queue served more bytes over the measured
-// window than its line rate allows. The slack term covers a packet whose
-// serialization straddles each window edge.
+// window than its line rate allows. With a timeline the bound is the time
+// integral of the link's piecewise-constant rate profile. The slack covers
+// a packet whose serialization straddles each window edge, plus one packet
+// per in-window rate transition (the in-service packet finishes on the
+// schedule armed under the old rate).
 func checkCapacity(sp *Spec, r *RunReport) {
 	for i := range r.Queues {
 		w := r.Queues[i].Window
-		capBytes := sp.Links[i].RateMbps * 1e6 / 8 * sp.DurationSec
-		if float64(w.SentBytes) > capBytes+2*netem.MSS {
-			r.violate("link %d served %d bytes in %gs, above capacity %.0f",
+		capBytes, transitions := sp.windowCapBytes(i)
+		slack := float64((2 + transitions) * netem.MSS)
+		if float64(w.SentBytes) > capBytes+slack {
+			r.violate("link %d served %d bytes in %gs, above time-varying capacity %.0f",
 				i, w.SentBytes, sp.DurationSec, capBytes)
 		}
 	}
+}
+
+// windowCapBytes integrates link l's rate profile — the spec rate plus
+// every timeline rate setpoint — over the measured window, reporting the
+// byte bound and the number of in-window rate transitions.
+func (sp *Spec) windowCapBytes(l int) (capBytes float64, transitions int) {
+	from := sp.WarmupSec
+	to := sp.WarmupSec + sp.DurationSec
+	rate := sp.Links[l].RateMbps
+	t := from
+	for i := range sp.Timeline {
+		ev := sp.Timeline[i].Link
+		if ev == nil || ev.Link != l || ev.RateMbps <= 0 {
+			continue
+		}
+		at := sp.Timeline[i].AtSec
+		if at > to {
+			break // events are time-ordered; nothing later is in the window
+		}
+		if at <= from {
+			rate = ev.RateMbps // already in effect when the window opens
+			continue
+		}
+		capBytes += rate * 1e6 / 8 * (at - t)
+		rate = ev.RateMbps
+		t = at
+		transitions++
+	}
+	capBytes += rate * 1e6 / 8 * (to - t)
+	return capBytes, transitions
 }
 
 // Digest is the comparable fingerprint of a run, for the re-run

@@ -114,6 +114,11 @@ type Spec struct {
 	Paths []PathSpec `json:"paths"`
 	Flows []FlowSpec `json:"flows"`
 
+	// Timeline lists timestamped mid-run mutations — link shaping
+	// setpoints and path flaps — in non-decreasing time order (see
+	// timeline.go). Empty means a static network.
+	Timeline []TimelineEvent `json:"timeline,omitempty"`
+
 	// ReverseRateMbps and ReverseDelayMs shape the shared uncongested
 	// return (ACK) path; zero selects the testbed values (1000 Mb/s,
 	// 40 ms).
@@ -133,7 +138,9 @@ const startSpread = sim.Second
 
 // Validate checks the spec for structural errors: empty topology, bad
 // indices, non-positive rates, negative times, unknown algorithms, AlgoTCP
-// flows with more than one path. It returns the first problem found.
+// flows with more than one path, and malformed timelines (out-of-range
+// link/path indices, decreasing or negative times, out-of-range setpoint
+// values). It returns the first problem found.
 func (sp *Spec) Validate() error {
 	if sp.DurationSec <= 0 {
 		return fmt.Errorf("scenario %q: duration must be positive, got %g", sp.Name, sp.DurationSec)
@@ -215,7 +222,7 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("scenario %q: flow %d has negative flow bytes", sp.Name, i)
 		}
 	}
-	return nil
+	return sp.validateTimeline()
 }
 
 // count normalizes a FlowSpec's replica count.

@@ -132,6 +132,7 @@ type Src struct {
 	started  bool
 	done     bool
 	paused   bool
+	frozen   bool
 	startAt  sim.Time
 	doneAt   sim.Time
 	stats    Stats
@@ -280,9 +281,43 @@ func (t *Src) Resume() {
 // Paused reports whether new transmissions are suspended.
 func (t *Src) Paused() bool { return t.paused }
 
+// Freeze takes the sender administratively down (a path flap): new
+// transmissions and recovery retransmissions stop, and the RTO timer is
+// disarmed so an outage triggers neither exponential backoff nor a loss
+// storm into the coupled controller. ACKs for data already in flight are
+// still processed — the wire drains normally. Freeze is independent of
+// Pause (probe control), so a flap cannot clobber a suspension decision.
+//
+//simlint:hot
+func (t *Src) Freeze() {
+	if t.frozen {
+		return
+	}
+	t.frozen = true
+	t.sim.Cancel(t.rtoTimer)
+}
+
+// Unfreeze brings the sender back up after Freeze and resumes transmission;
+// sendMore re-arms the RTO whenever data is outstanding, so anything lost
+// during the outage is recovered one timeout after the path returns.
+//
+//simlint:hot
+func (t *Src) Unfreeze() {
+	if !t.frozen {
+		return
+	}
+	t.frozen = false
+	if t.started && !t.done {
+		t.sendMore()
+	}
+}
+
+// Frozen reports whether the sender is administratively down.
+func (t *Src) Frozen() bool { return t.frozen }
+
 // sendMore transmits as many new segments as the window allows.
 func (t *Src) sendMore() {
-	if !t.started || t.done || t.paused {
+	if !t.started || t.done || t.paused || t.frozen {
 		return
 	}
 	mss := int64(t.cfg.MSS)
@@ -377,8 +412,10 @@ func (t *Src) transmit(seq int64, size int, isRetx bool) {
 func (t *Src) RunEvent(now sim.Time) { t.onRTO() }
 
 // armRTO (re)schedules the retransmission timer if data is outstanding.
+// Frozen senders keep the timer disarmed: an administratively down path
+// must not accumulate timeouts and backoff while it cannot transmit.
 func (t *Src) armRTO() {
-	if t.flight() <= 0 || t.done {
+	if t.flight() <= 0 || t.done || t.frozen {
 		t.sim.Cancel(t.rtoTimer)
 		return
 	}
@@ -416,7 +453,7 @@ func (t *Src) rto() sim.Time {
 // onRTO handles a retransmission timeout: multiplicative decrease to 1 MSS,
 // slow start, go-back-N from the last cumulative ACK.
 func (t *Src) onRTO() {
-	if t.done || t.flight() <= 0 {
+	if t.done || t.frozen || t.flight() <= 0 {
 		return
 	}
 	mss := float64(t.cfg.MSS)
@@ -547,6 +584,9 @@ func (t *Src) nextHole() int64 {
 // sendOneRecovery transmits one segment during fast recovery: the next known
 // hole if there is one, otherwise new data to keep the ACK clock running.
 func (t *Src) sendOneRecovery() {
+	if t.frozen {
+		return
+	}
 	if h := t.nextHole(); h >= 0 {
 		size := t.segSizeAt(h)
 		if size > 0 {
@@ -640,8 +680,14 @@ func (t *Src) grow(acked int) {
 	}
 }
 
-// dupAck processes a duplicate acknowledgment.
+// dupAck processes a duplicate acknowledgment. A frozen sender ignores
+// duplicates entirely: the reordering signal is an artifact of the outage,
+// and reacting would halve the window and notify the coupled controller for
+// losses the flap already explains.
 func (t *Src) dupAck() {
+	if t.frozen {
+		return
+	}
 	mss := float64(t.cfg.MSS)
 	t.dupAcks++
 	if t.inRecovery {

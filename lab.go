@@ -2,9 +2,11 @@ package mptcpsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/harness"
@@ -56,6 +58,7 @@ type ProgressEvent struct {
 //	err := lab.RunAll(ctx, nil, mptcpsim.FormatText, os.Stdout)
 type Lab struct {
 	cfg      Config
+	watchdog time.Duration
 	progress func(ProgressEvent)
 	mu       sync.Mutex // serializes progress delivery
 }
@@ -86,6 +89,16 @@ func WithSeed(seed int64) Option {
 // block and must not call back into the Lab.
 func WithProgress(fn func(ProgressEvent)) Option {
 	return func(l *Lab) { l.progress = fn }
+}
+
+// WithWatchdog bounds each Lab.Run call to d of wall-clock time (default
+// off). A scenario that exceeds the budget — a runaway timeline, a spec far
+// larger than intended — is abandoned at the next one-second virtual-time
+// boundary with an ErrWatchdog error instead of hanging the caller. The
+// watchdog never perturbs a run that finishes in time: runs are exact at
+// the probed boundaries, so output stays byte-identical with or without it.
+func WithWatchdog(d time.Duration) Option {
+	return func(l *Lab) { l.watchdog = d }
 }
 
 // NewLab builds an engine from the options, starting from DefaultConfig.
@@ -202,14 +215,26 @@ func (l *Lab) RunAll(ctx context.Context, ids []string, format Format, w io.Writ
 // goodput over [Warmup, Warmup+Duration] and checking the
 // packet-conservation, capacity, monotonicity and queue-bound invariants.
 // Cancelling ctx abandons the simulation at a one-second virtual-time
-// boundary with an ErrCanceled error.
+// boundary with an ErrCanceled error; a WithWatchdog budget expiring does
+// the same with an ErrWatchdog error.
 func (l *Lab) Run(ctx context.Context, spec ScenarioSpec) (*ScenarioReport, error) {
 	const op = "run"
 	if err := spec.Validate(); err != nil {
 		return nil, apiErr(op, spec.Name, ErrInvalidSpec, err)
 	}
-	rep, err := scenario.Run(ctx, &spec)
+	runCtx := ctx
+	if l.watchdog > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, l.watchdog)
+		defer cancel()
+	}
+	rep, err := scenario.Run(runCtx, &spec)
 	if err != nil {
+		// The watchdog firing shows up as the run context's deadline with
+		// the caller's own context still live.
+		if l.watchdog > 0 && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			return nil, apiErr(op, spec.Name, ErrWatchdog, err)
+		}
 		return nil, classify(op, spec.Name, err)
 	}
 	return rep, nil
