@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"mptcpsim/internal/harness"
+	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/scenario"
 	"mptcpsim/internal/topo"
 )
@@ -184,6 +185,14 @@ func Algorithms() []string {
 	out := make([]string, len(algorithmNames))
 	copy(out, algorithmNames)
 	return out
+}
+
+// Schedulers lists the available subflow schedulers for finite transfers
+// (ScenarioFlow.Scheduler): "pull" (demand-driven default), "minrtt" (Linux
+// default policy), "roundrobin", "ecf" (Earliest Completion First) and
+// "redundant" (duplicate chunks on all paths).
+func Schedulers() []string {
+	return mptcp.Schedulers()
 }
 
 // --- Deprecated compatibility wrappers -------------------------------------

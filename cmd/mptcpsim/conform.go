@@ -159,6 +159,20 @@ func renderConformance(conf *mptcpsim.ConformanceReport) {
 	}
 	fmt.Printf("  scenario-A LIA fixed point: t1 %.3f vs %.3f, t2 %.3f vs %.3f — %s\n",
 		fp.MeasuredT1Norm, fp.AnalyticT1Norm, fp.MeasuredT2Norm, fp.AnalyticT2Norm, verdict)
+	if len(conf.Schedulers) > 0 {
+		fmt.Println("  scheduler capacity: finite stream over 8+2 Mb/s paths, data rate vs physical bound")
+		for _, s := range conf.Schedulers {
+			verdict := "pass"
+			if !s.Pass {
+				verdict = "FAIL"
+			}
+			done := "incomplete"
+			if s.Done {
+				done = fmt.Sprintf("done in %5.2f s, %5.2f Mb/s", s.CompletionSec, s.RateMbps)
+			}
+			fmt.Printf("  %-10s %s ≤ %5.2f Mb/s — %s\n", s.Scheduler, done, s.BoundMbps, verdict)
+		}
+	}
 }
 
 // shareString renders a share vector compactly.

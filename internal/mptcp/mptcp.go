@@ -31,6 +31,9 @@ type Conn struct {
 	keepSlowStart bool
 	// probeStates is non-nil once EnableProbeControl has run.
 	probeStates []probeState
+	// stream is the finite byte stream carried by this connection, if any;
+	// SetPathUp notifies it so stranded spans are reinjected.
+	stream *Stream
 }
 
 // SetKeepSlowStart selects htsim-style subflow startup (normal slow start)
@@ -112,25 +115,26 @@ type reducerHook struct {
 
 func (h reducerHook) ReduceTo(cwndBytes float64) float64 { return h.r.ReduceTo(cwndBytes) }
 
+// wire installs subflow i's controller hook and, for multipath connections
+// not keeping slow start, the paper's §IV-B settings. Shared by Start and
+// StartStaggered so hook changes cannot diverge the two launch paths.
+func (c *Conn) wire(i int) {
+	sf := c.subs[i]
+	h := hook{conn: c, idx: i}
+	if r, ok := c.ctrl.(interface{ ReduceTo(float64) float64 }); ok {
+		sf.Src.SetHook(reducerHook{h, r})
+	} else {
+		sf.Src.SetHook(h)
+	}
+	if len(c.subs) > 1 && !c.keepSlowStart {
+		sf.Src.ConfigureMultipath()
+	}
+}
+
 // Start wires hooks and launches every subflow at the given time. With two
 // or more subflows the paper's multipath settings are applied first.
 func (c *Conn) Start(at sim.Time) {
-	if len(c.subs) == 0 {
-		panic(fmt.Sprintf("mptcp: %s has no subflows", c.name))
-	}
-	multipath := len(c.subs) > 1
-	for i, sf := range c.subs {
-		h := hook{conn: c, idx: i}
-		if r, ok := c.ctrl.(interface{ ReduceTo(float64) float64 }); ok {
-			sf.Src.SetHook(reducerHook{h, r})
-		} else {
-			sf.Src.SetHook(h)
-		}
-		if multipath && !c.keepSlowStart {
-			sf.Src.ConfigureMultipath()
-		}
-		sf.Src.Start(at)
-	}
+	c.StartStaggered(at, 0)
 }
 
 // StartStaggered launches subflow i at `at + i·gap` (the paper randomizes
@@ -139,17 +143,8 @@ func (c *Conn) StartStaggered(at, gap sim.Time) {
 	if len(c.subs) == 0 {
 		panic(fmt.Sprintf("mptcp: %s has no subflows", c.name))
 	}
-	multipath := len(c.subs) > 1
 	for i, sf := range c.subs {
-		h := hook{conn: c, idx: i}
-		if r, ok := c.ctrl.(interface{ ReduceTo(float64) float64 }); ok {
-			sf.Src.SetHook(reducerHook{h, r})
-		} else {
-			sf.Src.SetHook(h)
-		}
-		if multipath && !c.keepSlowStart {
-			sf.Src.ConfigureMultipath()
-		}
+		c.wire(i)
 		sf.Src.Start(at + sim.Time(i)*gap)
 	}
 }
@@ -168,6 +163,9 @@ func (c *Conn) SetPathUp(i int, up bool) {
 		sf.Src.Unfreeze()
 	} else {
 		sf.Src.Freeze()
+	}
+	if c.stream != nil {
+		c.stream.pathChanged(i, up)
 	}
 }
 
@@ -194,3 +192,6 @@ func (c *Conn) SRTT(i int) float64 { return c.subs[i].Src.SRTT() }
 
 // MSS implements core.ConnView.
 func (c *Conn) MSS() int { return c.subs[0].Src.MSS() }
+
+// InFlightBytes implements SchedView: subflow i's unacknowledged bytes.
+func (c *Conn) InFlightBytes(i int) int64 { return c.subs[i].Src.InFlightBytes() }

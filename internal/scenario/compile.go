@@ -36,6 +36,9 @@ type Flow struct {
 
 	// Conn is the multipath connection (nil for AlgoTCP flows).
 	Conn *mptcp.Conn
+	// Stream is the scheduled finite byte stream (nil unless the spec sets
+	// FlowSpec.Scheduler).
+	Stream *mptcp.Stream
 
 	Srcs  []*tcp.Src
 	Sinks []*tcp.Sink
@@ -222,6 +225,11 @@ func (n *Net) buildFlow(fi, replica, flowID int) *Flow {
 		AckTap:  &netem.Tap{},
 	}
 	cfg := tcp.Config{FlowBytes: fs.FlowBytes}
+	if fs.Scheduler != "" {
+		// A scheduled stream owns data assignment: subflows start unbounded
+		// and the stream portions FlowBytes out in chunks.
+		cfg.FlowBytes = 0
+	}
 	rev := n.Rev
 
 	if fs.Algorithm == AlgoTCP {
@@ -245,7 +253,16 @@ func (n *Net) buildFlow(fi, replica, flowID int) *Flow {
 			f.Sinks = append(f.Sinks, sf.Sink)
 			n.pathFlows[pi] = append(n.pathFlows[pi], pathRef{flow: f, sub: i})
 		}
-		conn.Start(n.startAt(fs))
+		if fs.Scheduler != "" {
+			sched, err := mptcp.NewScheduler(fs.Scheduler)
+			if err != nil {
+				panic(err) // unreachable: Validate vetted the name
+			}
+			f.Stream = mptcp.NewStreamSched(conn, fs.FlowBytes, fs.ChunkBytes, sched)
+			f.Stream.Start(n.startAt(fs))
+		} else {
+			conn.Start(n.startAt(fs))
+		}
 		f.Conn = conn
 	}
 	if fs.StopSec > 0 {

@@ -16,6 +16,7 @@ import (
 
 	"mptcpsim/internal/fixedpoint"
 	"mptcpsim/internal/fluid"
+	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/runner"
 )
@@ -121,17 +122,40 @@ type FixedPointCheck struct {
 	Pass           bool    `json:"pass"`
 }
 
+// SchedulerCheck is one subflow-scheduler capacity conformance outcome: a
+// finite stream over heterogeneous paths must complete, and its data-level
+// rate must respect the policy's physical bound — best single path for
+// redundant (every byte rides every path), aggregate capacity otherwise.
+type SchedulerCheck struct {
+	Scheduler string `json:"scheduler"`
+	// Done reports in-window completion; CompletionSec and RateMbps are the
+	// transfer duration and data-level rate (FlowBytes over completion).
+	Done          bool    `json:"done"`
+	CompletionSec float64 `json:"completion_sec,omitempty"`
+	RateMbps      float64 `json:"rate_mbps,omitempty"`
+	// BoundMbps is the capacity ceiling the rate is checked against.
+	BoundMbps  float64  `json:"bound_mbps"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
 // ConformanceReport is the whole suite's outcome.
 type ConformanceReport struct {
 	Tolerance  float64             `json:"tolerance"`
 	Results    []ConformanceResult `json:"results"`
 	FixedPoint FixedPointCheck     `json:"fixed_point"`
+	Schedulers []SchedulerCheck    `json:"schedulers"`
 }
 
 // Failed reports whether any case missed its tolerance.
 func (r *ConformanceReport) Failed() bool {
 	for _, c := range r.Results {
 		if !c.Pass {
+			return true
+		}
+	}
+	for _, s := range r.Schedulers {
+		if !s.Pass {
 			return true
 		}
 	}
@@ -268,6 +292,67 @@ func runCase(ctx context.Context, c ConformanceCase, opts ConformanceOptions) (C
 	return res, nil
 }
 
+// scheduler conformance rig: two heterogeneous RED paths and a finite
+// stream sized to complete well inside even the smoke-test window.
+var schedCheckCaps = []float64{8, 2}
+
+const schedCheckBytes = 4 << 20
+
+// schedSpec builds the scheduler conformance scenario: one olia flow
+// carrying a scheduled stream over an 8 + 2 Mb/s path pair, no competition,
+// so capacity is the only thing that can bound the transfer.
+func schedSpec(name string, durationSec float64, seed int64) *Spec {
+	sp := &Spec{
+		Name:        "conform-sched-" + name,
+		Seed:        seed,
+		DurationSec: durationSec,
+	}
+	mp := FlowSpec{
+		Name: "stream", Algorithm: "olia",
+		FlowBytes: schedCheckBytes, Scheduler: name,
+		// Normal slow start: a short flow's completion time is dominated by
+		// ramp-up under the §IV-B setting, muddying the capacity signal.
+		KeepSlowStart: true,
+	}
+	for i, cap := range schedCheckCaps {
+		sp.Links = append(sp.Links, LinkSpec{RateMbps: cap})
+		sp.Paths = append(sp.Paths, PathSpec{Links: []int{i}, DelayMs: 40})
+		mp.Paths = append(mp.Paths, i)
+	}
+	sp.Flows = append(sp.Flows, mp)
+	return sp
+}
+
+// runSchedCheck runs one scheduler's capacity conformance case.
+func runSchedCheck(ctx context.Context, name string, opts ConformanceOptions) (SchedulerCheck, error) {
+	sc := SchedulerCheck{Scheduler: name}
+	sc.BoundMbps = 0
+	for _, cap := range schedCheckCaps {
+		if name == "redundant" {
+			if cap > sc.BoundMbps {
+				sc.BoundMbps = cap // best single path: every byte rides every path
+			}
+		} else {
+			sc.BoundMbps += cap // aggregate capacity
+		}
+	}
+	rep, err := Run(ctx, schedSpec(name, opts.DurationSec, 1))
+	if err != nil {
+		return sc, err
+	}
+	sc.Violations = rep.Violations
+	st := rep.Flows[0].Stream
+	sc.Done = st.Done
+	if st.Done {
+		sc.CompletionSec = st.CompletionSec
+		sc.RateMbps = schedCheckBytes * 8 / 1e6 / st.CompletionSec
+	}
+	// 5% slack: the first chunk is clocked out against an empty window, so
+	// a short transfer can marginally beat the steady-state line rate.
+	sc.Pass = sc.Done && len(sc.Violations) == 0 && sc.RateMbps <= sc.BoundMbps*1.05
+	return sc, nil
+}
+
 // runFixedPoint compares the measured scenario-A allocation against the
 // Appendix-A LIA fixed point, at N1 = N2 = 10, C1 = C2 = 1 Mb/s: the
 // regime where LIA visibly underperforms the optimum, so a miscoupled
@@ -307,37 +392,50 @@ func runFixedPoint(ctx context.Context, durationSec float64) (FixedPointCheck, e
 func RunConformance(ctx context.Context, opts ConformanceOptions) (*ConformanceReport, error) {
 	opts = opts.fill()
 	cases := ConformanceCases()
+	scheds := mptcp.Schedulers()
 	rep := &ConformanceReport{Tolerance: ShareTolerance}
 	type outcome struct {
 		res ConformanceResult
 		fc  FixedPointCheck
+		sc  SchedulerCheck
 		err error
 	}
-	progress := newProgressCounter(opts.Progress, len(cases)+1)
+	// Job layout: the share cases, then the fixed-point check, then one
+	// capacity check per registered scheduler.
+	total := len(cases) + 1 + len(scheds)
+	progress := newProgressCounter(opts.Progress, total)
 	pool := runner.New(opts.Workers)
-	results, err := runner.Map(ctx, pool, len(cases)+1, func(i int) outcome {
+	results, err := runner.Map(ctx, pool, total, func(i int) outcome {
 		defer progress.Step()
-		if i == len(cases) {
+		switch {
+		case i < len(cases):
+			res, err := runCase(ctx, cases[i], opts)
+			return outcome{res: res, err: err}
+		case i == len(cases):
 			fc, err := runFixedPoint(ctx, opts.DurationSec)
 			return outcome{fc: fc, err: err}
+		default:
+			sc, err := runSchedCheck(ctx, scheds[i-len(cases)-1], opts)
+			return outcome{sc: sc, err: err}
 		}
-		res, err := runCase(ctx, cases[i], opts)
-		return outcome{res: res, err: err}
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario: conformance suite canceled: %w", err)
 	}
 	for i, out := range results {
-		if out.err != nil {
-			if i == len(cases) {
-				return nil, fmt.Errorf("scenario: conformance fixed-point check: %w", out.err)
-			}
+		switch {
+		case out.err != nil && i < len(cases):
 			return nil, fmt.Errorf("scenario: conformance case %s/%s: %w", cases[i].Name, cases[i].Algo, out.err)
-		}
-		if i == len(cases) {
-			rep.FixedPoint = out.fc
-		} else {
+		case out.err != nil && i == len(cases):
+			return nil, fmt.Errorf("scenario: conformance fixed-point check: %w", out.err)
+		case out.err != nil:
+			return nil, fmt.Errorf("scenario: conformance scheduler check %s: %w", scheds[i-len(cases)-1], out.err)
+		case i < len(cases):
 			rep.Results = append(rep.Results, out.res)
+		case i == len(cases):
+			rep.FixedPoint = out.fc
+		default:
+			rep.Schedulers = append(rep.Schedulers, out.sc)
 		}
 	}
 	return rep, nil

@@ -129,6 +129,10 @@ func Fuzz(ctx context.Context, opts FuzzOptions) (*FuzzReport, error) {
 // often so multipath flows always face single-path competition somewhere.
 var fuzzAlgos = []string{"olia", "lia", "uncoupled", "fullycoupled", AlgoTCP, AlgoTCP}
 
+// scheduler choices for finite multipath transfers; the empty string keeps
+// the legacy per-subflow FlowBytes split in the mix.
+var fuzzSchedulers = []string{"", "pull", "minrtt", "roundrobin", "ecf", "redundant"}
+
 // GenSpec deterministically builds fuzz scenario index under the campaign
 // seed: 1-4 links of varied rate/delay/discipline (some with random loss),
 // 1-4 paths crossing one or two links each, 1-4 flow groups mixing coupled
@@ -201,6 +205,14 @@ func GenSpec(seed int64, index int) *Spec {
 		case 0:
 			// Finite transfer of 16 KB .. 1 MB per path.
 			f.FlowBytes = 16 << (10 + rng.Intn(7))
+			if f.Algorithm != AlgoTCP {
+				// Multipath finite transfers sample a subflow scheduler
+				// (empty keeps the legacy per-subflow split).
+				f.Scheduler = fuzzSchedulers[rng.Intn(len(fuzzSchedulers))]
+				if f.Scheduler != "" && rng.Intn(3) == 0 {
+					f.ChunkBytes = 2 << (10 + rng.Intn(4)) // 2-16 KB granularity
+				}
+			}
 		case 1:
 			f.StartJitter = true
 		case 2:

@@ -39,6 +39,23 @@ type FlowReport struct {
 	GoodputBytes int64 `json:"goodput_bytes"`
 	SentPkts     int64 `json:"sent_pkts"`
 	Timeouts     int64 `json:"timeouts"`
+	// Stream reports the scheduled transfer, present only for flows with
+	// FlowSpec.Scheduler set.
+	Stream *StreamReport `json:"stream,omitempty"`
+}
+
+// StreamReport is the end-of-run view of one scheduled finite transfer.
+type StreamReport struct {
+	Scheduler string `json:"scheduler"`
+	// Done reports full in-order delivery within the run; CompletionSec is
+	// the transfer duration (start to full delivery), valid only when Done.
+	Done          bool    `json:"done"`
+	CompletionSec float64 `json:"completion_sec,omitempty"`
+	// InOrderBytes is the contiguous data-level prefix delivered by the end
+	// of the run; DeliveredBytes counts distinct data bytes in any order (a
+	// redundant duplicate counts once).
+	InOrderBytes   int64 `json:"in_order_bytes"`
+	DeliveredBytes int64 `json:"delivered_bytes"`
 }
 
 // RunReport is the outcome of one scenario run: measurements plus every
@@ -197,6 +214,18 @@ func Run(ctx context.Context, sp *Spec) (*RunReport, error) {
 		for _, s := range f.Srcs {
 			fr.Timeouts += s.Stats().Timeouts
 		}
+		if f.Stream != nil {
+			sr := &StreamReport{
+				Scheduler:      sp.Flows[f.Spec].Scheduler,
+				Done:           f.Stream.Done(),
+				InOrderBytes:   f.Stream.InOrderBytes(),
+				DeliveredBytes: f.Stream.DeliveredBytes(),
+			}
+			if sr.Done {
+				sr.CompletionSec = f.Stream.CompletionTime().Sec()
+			}
+			fr.Stream = sr
+		}
 		r.Flows = append(r.Flows, fr)
 	}
 	for i, l := range n.Links {
@@ -323,6 +352,9 @@ func (r *RunReport) Digest() Digest {
 	var g, q string
 	for _, f := range r.Flows {
 		g += fmt.Sprintf("%s=%d;", f.Name, f.GoodputBytes)
+		if f.Stream != nil {
+			g += fmt.Sprintf("%s/stream=%d,%d,%v;", f.Name, f.Stream.InOrderBytes, f.Stream.DeliveredBytes, f.Stream.Done)
+		}
 	}
 	for _, c := range r.Queues {
 		q += fmt.Sprintf("%d:%+v;", c.Link, c.Total)

@@ -16,6 +16,7 @@ package scenario
 import (
 	"fmt"
 
+	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/topo"
@@ -91,6 +92,15 @@ type FlowSpec struct {
 	StopSec float64 `json:"stop_sec,omitempty"`
 	// FlowBytes bounds the transfer; 0 means long-lived (unbounded).
 	FlowBytes int64 `json:"flow_bytes,omitempty"`
+	// Scheduler selects the subflow scheduling policy for a finite multipath
+	// transfer (see mptcp.Schedulers: "pull", "minrtt", "roundrobin", "ecf",
+	// "redundant"). Empty keeps the legacy per-subflow split of FlowBytes
+	// with no connection-level reassembly. Requires a multipath Algorithm
+	// and FlowBytes > 0.
+	Scheduler string `json:"scheduler,omitempty"`
+	// ChunkBytes is the scheduling granularity for Scheduler flows; 0 means
+	// mptcp.DefaultChunk. Only valid with Scheduler set.
+	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
 	// KeepSlowStart preserves normal slow start on multipath subflows
 	// instead of the paper's §IV-B ssthresh=1 setting.
 	KeepSlowStart bool `json:"keep_slow_start,omitempty"`
@@ -220,6 +230,29 @@ func (sp *Spec) Validate() error {
 		}
 		if f.FlowBytes < 0 {
 			return fmt.Errorf("scenario %q: flow %d has negative flow bytes", sp.Name, i)
+		}
+		if f.ChunkBytes < 0 {
+			return fmt.Errorf("scenario %q: flow %d has negative chunk bytes", sp.Name, i)
+		}
+		if f.ChunkBytes > 0 && f.Scheduler == "" {
+			return fmt.Errorf("scenario %q: flow %d sets chunk bytes without a scheduler", sp.Name, i)
+		}
+		if f.Scheduler != "" {
+			if _, err := mptcp.NewScheduler(f.Scheduler); err != nil {
+				return fmt.Errorf("scenario %q: flow %d: %w", sp.Name, i, err)
+			}
+			if f.Algorithm == AlgoTCP {
+				return fmt.Errorf("scenario %q: flow %d: scheduler %q needs a multipath algorithm", sp.Name, i, f.Scheduler)
+			}
+			if f.FlowBytes == 0 {
+				return fmt.Errorf("scenario %q: flow %d: scheduler %q needs finite flow bytes", sp.Name, i, f.Scheduler)
+			}
+			if f.FlowBytes < int64(len(f.Paths)) {
+				return fmt.Errorf("scenario %q: flow %d: %d flow bytes across %d paths", sp.Name, i, f.FlowBytes, len(f.Paths))
+			}
+			if f.StopSec > 0 {
+				return fmt.Errorf("scenario %q: flow %d: scheduler flows cannot set a stop time", sp.Name, i)
+			}
 		}
 	}
 	return sp.validateTimeline()

@@ -55,6 +55,31 @@ func TestSpecValidate(t *testing.T) {
 		{"negative start", func(sp *Spec) { sp.Flows[0].StartSec = -1 }, "negative start"},
 		{"stop before start", func(sp *Spec) { sp.Flows[1].StopSec = 0.1 }, "not after start"},
 		{"negative flow bytes", func(sp *Spec) { sp.Flows[0].FlowBytes = -1 }, "negative flow bytes"},
+		{"negative chunk bytes", func(sp *Spec) { sp.Flows[0].ChunkBytes = -1 }, "negative chunk bytes"},
+		{"chunk without scheduler", func(sp *Spec) { sp.Flows[0].ChunkBytes = 4096 }, "chunk bytes without a scheduler"},
+		{"unknown scheduler", func(sp *Spec) {
+			sp.Flows[0].FlowBytes = 1 << 20
+			sp.Flows[0].Scheduler = "lifo"
+		}, `unknown scheduler "lifo"`},
+		{"scheduler on tcp", func(sp *Spec) {
+			sp.Flows[1].FlowBytes = 1 << 20
+			sp.Flows[1].Scheduler = "minrtt"
+		}, "needs a multipath algorithm"},
+		{"scheduler without flow bytes", func(sp *Spec) { sp.Flows[0].Scheduler = "minrtt" }, "needs finite flow bytes"},
+		{"scheduler flow bytes below paths", func(sp *Spec) {
+			sp.Flows[0].FlowBytes = 1
+			sp.Flows[0].Scheduler = "minrtt"
+		}, "flow bytes across"},
+		{"scheduler with stop", func(sp *Spec) {
+			sp.Flows[0].FlowBytes = 1 << 20
+			sp.Flows[0].Scheduler = "minrtt"
+			sp.Flows[0].StopSec = 1.5
+		}, "cannot set a stop time"},
+		{"valid scheduler", func(sp *Spec) {
+			sp.Flows[0].FlowBytes = 1 << 20
+			sp.Flows[0].Scheduler = "ecf"
+			sp.Flows[0].ChunkBytes = 8192
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -259,6 +259,10 @@ func (t *Src) Start(at sim.Time) {
 // flight is the number of unacknowledged bytes in the network.
 func (t *Src) flight() int64 { return t.highestSent - t.lastAcked }
 
+// InFlightBytes reports the unacknowledged bytes in the network — the state
+// subflow schedulers compare against the congestion window.
+func (t *Src) InFlightBytes() int64 { return t.flight() }
+
 // effCwnd applies the receive-window cap.
 func (t *Src) effCwnd() float64 {
 	return math.Min(t.cwnd, t.cfg.MaxCwndPkts*float64(t.cfg.MSS))
