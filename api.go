@@ -13,9 +13,11 @@
 //     Collect/RunAll regenerate the paper's tables and figures as
 //     structured Results, Run executes declarative N-path scenarios, Fuzz
 //     and Conform drive the invariant fuzzer and the cross-model
-//     conformance suite, Simulate runs custom multipath-vs-TCP
-//     microbenchmarks, and Analyze evaluates the paper's loss-throughput
-//     fixed points without simulation. Calls can be cancelled via their
+//     conformance suite, Campaign samples and aggregates thousands of
+//     scenarios from a parameter-distribution population (with a
+//     content-addressed result cache), Simulate runs custom
+//     multipath-vs-TCP microbenchmarks, and Analyze evaluates the paper's
+//     loss-throughput fixed points without simulation. Calls can be cancelled via their
 //     context (errors wrap ErrCanceled) and observed in flight via
 //     WithProgress; failures are matchable with errors.Is/As against the
 //     typed error family in errors.go.
@@ -33,6 +35,7 @@ import (
 	"io"
 	"sort"
 
+	"mptcpsim/internal/campaign"
 	"mptcpsim/internal/harness"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/scenario"
@@ -153,6 +156,48 @@ func GenFuzzSpec(seed int64, index int) ScenarioSpec {
 func PaperScenarioA(n1, n2 int, c1, c2 float64, algo string, seed int64, warmupSec, durationSec float64) ScenarioSpec {
 	return *scenario.PaperScenarioA(n1, n2, c1, c2, algo, seed, warmupSec, durationSec)
 }
+
+// CampaignSpec declares a Monte Carlo campaign for Lab.Campaign: a
+// population of network conditions as parameter distributions (path
+// count, per-link rate/delay/loss, queue disciplines, controllers,
+// schedulers, background load, fault timelines) plus the campaign size
+// and seed. Start from DefaultCampaign and override fields. See
+// internal/campaign.
+type CampaignSpec = campaign.Spec
+
+// CampaignResult is the outcome of a Lab.Campaign call: exact counters
+// (simulated runs, cache hits, invariant violations) plus one
+// CampaignAggregate per population metric, with a Digest fingerprinting
+// the statistical content.
+type CampaignResult = campaign.Result
+
+// CampaignDist, CampaignIntRange, CampaignFaults and CampaignAggregate
+// are the building blocks of a CampaignSpec and its Result.
+type (
+	CampaignDist      = campaign.Dist
+	CampaignIntRange  = campaign.IntRange
+	CampaignFaults    = campaign.FaultSpec
+	CampaignAggregate = campaign.Aggregate
+)
+
+// DistConst returns the campaign distribution that always yields v.
+func DistConst(v float64) CampaignDist { return campaign.Const(v) }
+
+// DistUniform returns the uniform campaign distribution over [lo, hi].
+func DistUniform(lo, hi float64) CampaignDist { return campaign.Uniform(lo, hi) }
+
+// DistLogUniform returns the log-uniform campaign distribution over
+// [lo, hi], lo > 0 — each decade of the range equally likely.
+func DistLogUniform(lo, hi float64) CampaignDist { return campaign.LogUniform(lo, hi) }
+
+// DistChoice returns the uniform discrete campaign distribution over vs.
+func DistChoice(vs ...float64) CampaignDist { return campaign.Choice(vs...) }
+
+// DefaultCampaign returns the reference campaign population — dual-homed
+// users over log-uniform bottlenecks with background TCP load and a
+// sprinkle of faults — the spec `mptcpsim campaign` and the serve API
+// start from.
+func DefaultCampaign() *CampaignSpec { return campaign.Default() }
 
 // FuzzOptions and FuzzReport scale and summarize a scenario-fuzzing
 // campaign (Lab.Fuzz).

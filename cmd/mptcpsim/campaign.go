@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mptcpsim"
+	"mptcpsim/internal/runner"
+)
+
+// campaignMain implements `mptcpsim campaign`: sample a population of
+// scenarios from a parameter-distribution spec, run them on the worker
+// pool, and print the streamed aggregates. The spec starts from the
+// default dual-homed population; -spec overlays a JSON file over it, and
+// -n/-seed override the campaign size and seed last. With -cache every
+// completed scenario is stored content-addressed, so re-running an
+// unchanged campaign simulates nothing.
+func campaignMain(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	var (
+		specPath = fs.String("spec", "", "JSON campaign spec, overlaid on the default population")
+		n        = fs.Int("n", 0, "override the number of scenarios")
+		seed     = fs.Int64("seed", 0, "override the campaign seed")
+		jobs     = fs.Int("j", 0, "parallel simulation workers (0 = all CPUs)")
+		cacheDir = fs.String("cache", "", "content-addressed result cache directory")
+		format   = fs.String("format", "text", "output format: text or json")
+		out      = fs.String("o", "", "write output to this file instead of stdout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mptcpsim campaign [-spec file.json] [-n N] [-seed S] [-j W] [-cache dir] [-format text|json] [-o file]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	spec := *mptcpsim.DefaultCampaign()
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fail(fmt.Errorf("%s: %w", *specPath, err))
+		}
+	}
+	if *n != 0 {
+		spec.N = *n
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	spec.CacheDir = *cacheDir
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	meter := newMeter()
+	lab := mptcpsim.NewLab(mptcpsim.WithWorkers(*jobs), mptcpsim.WithProgress(meter.observe))
+	t0 := time.Now()
+	res, err := lab.Campaign(ctx, spec)
+	meter.clear()
+	exitOn(err, "interrupted — completed scenarios stay cached; re-run to resume")
+	switch *format {
+	case "json":
+		data, rerr := res.RenderJSON()
+		if rerr == nil {
+			_, rerr = w.Write(data)
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, errLine(rerr))
+			os.Exit(1)
+		}
+	case "text", "":
+		fmt.Fprint(w, res.RenderText())
+	default:
+		fail(fmt.Errorf("unknown campaign format %q (want text or json)", *format))
+	}
+	fmt.Fprintf(os.Stderr, "(%d simulated, %d cached in %v on %d workers)\n",
+		res.Simulated, res.CacheHits, time.Since(t0).Round(time.Millisecond), runner.Workers(*jobs))
+}

@@ -17,6 +17,10 @@
 //	mptcpsim conform -smoke                  # CI scale (40 scenarios, 20 s windows)
 //	mptcpsim conform -fuzz-only              # invariant fuzzer alone
 //	mptcpsim conform -seed 1 -replay 42      # re-run one fuzz scenario by index
+//	mptcpsim campaign -n 1000 -cache .cache  # Monte Carlo population sweep
+//	mptcpsim campaign -spec pop.json -format json -o out.json
+//	mptcpsim serve -addr :8377 -cache .cache # campaign engine as an HTTP job API
+//	mptcpsim -version                        # code version (hash of the API surface)
 //
 // Independent simulations (experiments × sweep points × seeds) run
 // concurrently on -j workers (default: all CPUs); every RNG seed derives
@@ -71,6 +75,14 @@ func main() {
 		conformMain(ctx, os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		campaignMain(ctx, os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(ctx, os.Args[2:])
+		return
+	}
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
 		run      = flag.String("run", "", "comma-separated experiment IDs to run")
@@ -83,8 +95,13 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 		format   = flag.String("format", "text", "output format: text, json, or csv")
 		out      = flag.String("o", "", "write output to this file instead of stdout")
+		version  = flag.Bool("version", false, "print the code version (hash of the locked API surface) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(mptcpsim.Version())
+		return
+	}
 
 	cfg := mptcpsim.DefaultConfig()
 	if *full || os.Getenv("MPTCPSIM_FULL") == "1" {

@@ -46,7 +46,7 @@ var (
 // Error is the concrete error type of the Lab API boundary.
 type Error struct {
 	// Op names the Lab method that failed: "collect", "run-all", "run",
-	// "simulate", "fuzz", "conform", or "analyze".
+	// "simulate", "fuzz", "conform", "campaign", or "analyze".
 	Op string
 	// ID is the experiment ID or scenario name involved, when there is one.
 	ID string

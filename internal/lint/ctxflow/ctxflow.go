@@ -1,8 +1,8 @@
 // Package ctxflow implements the simlint analyzer that keeps cancellation
 // plumbed through the library's service paths. PR 5 made every Lab entry
 // point context-aware — slot waiters select on Done, sweeps stop at job
-// boundaries, virtual-time slices observe ctx — and the upcoming campaign
-// engine (`mptcpsim serve`) will hold runs open for hours, where a dropped
+// boundaries, virtual-time slices observe ctx — and the campaign engine
+// (`mptcpsim serve`) holds runs open indefinitely, where a dropped
 // context means an unkillable job. The analyzer enforces the conventions
 // that keep that property true as the roadmap grows:
 //
@@ -26,9 +26,14 @@
 // pre-context compatibility wrappers exist precisely to run under
 // context.Background() by documented contract.
 //
-// Scope: the library service packages internal/harness, internal/runner,
-// internal/scenario (and their subpackages) plus the facade package
-// mptcpsim.
+// Scope: the library service packages internal/campaign, internal/harness,
+// internal/runner, internal/scenario, internal/serve (and their
+// subpackages) plus the facade package mptcpsim. internal/serve is in
+// scope deliberately even though it is an HTTP layer: its jobs outlive
+// requests, so severed cancellation there is exactly the failure mode
+// this analyzer exists to prevent. The determinism analyzer, by contrast,
+// gates campaign/serve OFF its scope — a service is free to use
+// goroutines and wall-clock time because determinism lives below it.
 package ctxflow
 
 import (
@@ -52,9 +57,11 @@ const modulePath = "mptcpsim"
 
 // scoped lists the context-aware library packages; subpackages inherit.
 var scoped = []string{
+	"internal/campaign",
 	"internal/harness",
 	"internal/runner",
 	"internal/scenario",
+	"internal/serve",
 }
 
 // InScope reports whether the analyzer applies to the package.

@@ -24,6 +24,8 @@ func TestInScope(t *testing.T) {
 		"mptcpsim/internal/harness/ctxcase": true,
 		"mptcpsim/internal/runner":          true,
 		"mptcpsim/internal/scenario":        true,
+		"mptcpsim/internal/campaign":        true,
+		"mptcpsim/internal/serve":           true,
 		"mptcpsim/internal/sim":             false,
 		"mptcpsim/cmd/mptcpsim":             false,
 		"example.com/outside":               false,

@@ -200,6 +200,13 @@ func (pr *Program) resolve(path string) (dir string, local bool, err error) {
 			return d, true, nil
 		}
 	}
+	// The standard library vendors its own external dependencies (net
+	// imports golang.org/x/net/dns/dnsmessage, net/http the httpguts
+	// helpers, ...) under GOROOT/src/vendor; go/build does not resolve
+	// those paths on its own.
+	if d := filepath.Join(pr.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path)); hasGoFiles(d) {
+		return d, false, nil
+	}
 	bp, err := pr.ctx.Import(path, "", build.FindOnly)
 	if err != nil {
 		return "", false, fmt.Errorf("cannot resolve import %q: %w", path, err)

@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mptcpsim"
+)
+
+// newTestServer mounts a service over httptest with a tiny worker budget.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s := NewServer(context.Background(), cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// tinyBody is a fast submission: it overlays the default population, so
+// only the overridden fields appear.
+const tinyBody = `{"name":"t","n":4,"warmup_sec":{"kind":"const","value":1},"duration_sec":{"kind":"uniform","min":1.2,"max":1.8},"link_rate_mbps":{"kind":"loguniform","min":1,"max":4}}`
+
+// submit POSTs a campaign and returns its id.
+func submit(t *testing.T, ts *httptest.Server, body string) Status {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != stateRunning {
+		t.Fatalf("submit: initial status %+v", st)
+	}
+	return st
+}
+
+// getJSON decodes one GET response into v, returning the status code.
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitTerminal polls the job until it leaves state "running".
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st Status
+		if code := getJSON(t, ts.URL+"/v1/campaigns/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status: code %d", code)
+		}
+		if st.State != stateRunning {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("job never reached a terminal state")
+	return Status{}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	_, ts := newTestServer(t, Config{CacheDir: t.TempDir()})
+
+	if code := getJSON(t, ts.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var ver map[string]string
+	if code := getJSON(t, ts.URL+"/v1/version", &ver); code != http.StatusOK {
+		t.Fatalf("version: %d", code)
+	}
+	if ver["version"] != mptcpsim.Version() {
+		t.Fatalf("version %q, want %q", ver["version"], mptcpsim.Version())
+	}
+
+	st := submit(t, ts, tinyBody)
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != stateDone || final.Done != 4 || final.Total != 4 || final.Digest == "" {
+		t.Fatalf("final status %+v", final)
+	}
+
+	var res mptcpsim.CampaignResult
+	if code := getJSON(t, ts.URL+"/v1/campaigns/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: code %d", code)
+	}
+	if res.N != 4 || res.Simulated+res.CacheHits != 4 || res.Digest() != final.Digest {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Version != mptcpsim.Version() {
+		t.Fatalf("result version %q", res.Version)
+	}
+
+	// A resubmission of the same campaign is answered from the shared cache.
+	st2 := submit(t, ts, tinyBody)
+	if waitTerminal(t, ts, st2.ID).State != stateDone {
+		t.Fatal("resubmission failed")
+	}
+	var res2 mptcpsim.CampaignResult
+	getJSON(t, ts.URL+"/v1/campaigns/"+st2.ID+"/result", &res2)
+	if res2.CacheHits != 4 || res2.Simulated != 0 {
+		t.Fatalf("resubmission: simulated %d / hits %d, want 0 / 4", res2.Simulated, res2.CacheHits)
+	}
+	if res2.Digest() != res.Digest() {
+		t.Fatal("cached re-run digest differs")
+	}
+
+	var list []Status
+	if code := getJSON(t, ts.URL+"/v1/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != 2 || list[0].ID != st.ID || list[1].ID != st2.ID {
+		t.Fatalf("list %+v", list)
+	}
+}
+
+func TestServeEventsStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	_, ts := newTestServer(t, Config{CacheDir: t.TempDir()})
+	st := submit(t, ts, tinyBody)
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var lines []Status
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Status
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no events streamed")
+	}
+	last := lines[len(lines)-1]
+	if last.State != stateDone || last.Done != 4 {
+		t.Fatalf("stream ended on %+v", last)
+	}
+	prev := -1
+	for _, ev := range lines {
+		if ev.Done < prev {
+			t.Fatalf("streamed counter went backwards: %d after %d", ev.Done, prev)
+		}
+		prev = ev.Done
+	}
+}
+
+func TestServeSubmitRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxN: 50})
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"n":`},
+		{"unknown field", `{"n":4,"cache_dir":"/etc"}`},
+		{"invalid spec", `{"n":4,"algorithms":["nope"]}`},
+		{"oversized", `{"n":51}`},
+		{"negative n", `{"n":-1}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: no error message in body", c.name)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/campaigns/c99", nil); code != http.StatusNotFound {
+		t.Errorf("unknown id status: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/campaigns/c99/result", nil); code != http.StatusNotFound {
+		t.Errorf("unknown id result: %d, want 404", code)
+	}
+}
+
+func TestServeCancelJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	_, ts := newTestServer(t, Config{Workers: 2})
+	// A campaign big enough that it cannot finish before the DELETE lands.
+	st := submit(t, ts, `{"name":"big","n":500}`)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != stateCanceled {
+		t.Fatalf("state %q after cancel, want %q", final.State, stateCanceled)
+	}
+	// The result endpoint reports the terminal failure, not a hang.
+	resp2, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("result of canceled job: status %d, want 410", resp2.StatusCode)
+	}
+}
+
+func TestServeCloseDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	s := NewServer(context.Background(), Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	st := submit(t, ts, `{"name":"big","n":500}`)
+
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close did not drain the running job")
+	}
+	// After Close the job is terminal and new submissions are refused.
+	j := s.jobs[st.ID]
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state == stateRunning {
+		t.Fatalf("job still running after Close")
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after Close: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStatusJSONShape pins the wire format the CLI and CI smoke test
+// depend on.
+func TestStatusJSONShape(t *testing.T) {
+	st := Status{ID: "c1", Name: "x", State: stateDone, Done: 3, Total: 3, Digest: "ab"}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":"c1","name":"x","state":"done","done":3,"total":3,"digest":"ab"}`
+	if string(data) != want {
+		t.Fatalf("status JSON %s, want %s", data, want)
+	}
+	var buf bytes.Buffer
+	fmt.Fprint(&buf, string(data))
+	var back Status
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("round trip changed status: %+v", back)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"mptcpsim/internal/campaign"
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/harness"
 	"mptcpsim/internal/scenario"
@@ -84,9 +85,13 @@ func WithSeed(seed int64) Option {
 	return func(l *Lab) { l.cfg.BaseSeed = seed }
 }
 
-// WithProgress installs a progress sink. Events are delivered serially (the
-// Lab holds a lock around fn), but from worker goroutines — fn must not
-// block and must not call back into the Lab.
+// WithProgress installs a progress sink. Delivery is serialized: every
+// event — from any worker goroutine, in any concurrent call on the Lab —
+// passes through one Lab-held lock around fn, so fn never runs twice at
+// once and needs no locking of its own to maintain counters or write to a
+// stream. The flip side: fn runs on worker goroutines and stalls them
+// while it executes, so it must not block and must not call back into the
+// Lab.
 func WithProgress(fn func(ProgressEvent)) Option {
 	return func(l *Lab) { l.progress = fn }
 }
@@ -259,6 +264,34 @@ func (l *Lab) Fuzz(ctx context.Context, opts FuzzOptions) (*FuzzReport, error) {
 		return nil, classify(op, "", err)
 	}
 	return rep, nil
+}
+
+// Campaign samples spec.N scenarios from the campaign's parameter
+// distributions — scenario i is a pure function of (spec, i) — runs each
+// on the Lab's worker budget, and folds every report through streaming
+// aggregators (count, mean/variance, deterministic quantile sketch), so
+// memory stays O(workers) at any campaign size. With spec.CacheDir set,
+// completed runs are kept in a content-addressed cache keyed by
+// (Version(), sampled scenario); a fully cached re-run performs zero
+// simulations and reproduces the cold Result byte for byte. The Result —
+// including its Digest — is byte-identical at any worker count.
+// Cancelling ctx stops the campaign at the next scenario boundary with an
+// ErrCanceled error; completed runs stay cached, so a canceled campaign
+// resumes incrementally.
+func (l *Lab) Campaign(ctx context.Context, spec CampaignSpec) (*CampaignResult, error) {
+	const op = "campaign"
+	if err := spec.Validate(); err != nil {
+		return nil, apiErr(op, spec.Name, ErrInvalidSpec, err)
+	}
+	res, err := campaign.Run(ctx, &spec, campaign.Options{
+		Workers:  l.cfg.Workers,
+		Version:  Version(),
+		Progress: l.jobsProgress(),
+	})
+	if err != nil {
+		return nil, classify(op, spec.Name, err)
+	}
+	return res, nil
 }
 
 // Conform cross-checks the packet-level simulator against the paper's

@@ -1,0 +1,107 @@
+package mptcpsim
+
+import (
+	"context"
+	"errors"
+	"regexp"
+	"sync/atomic"
+	"testing"
+)
+
+// tinyCampaign is a fast campaign population for facade tests.
+func tinyCampaign() CampaignSpec {
+	sp := *DefaultCampaign()
+	sp.Name = "facade-tiny"
+	sp.N = 8
+	sp.WarmupSec = DistConst(1)
+	sp.DurationSec = DistUniform(1.2, 1.8)
+	sp.LinkRateMbps = DistLogUniform(1, 4)
+	return sp
+}
+
+func TestVersionShape(t *testing.T) {
+	v := Version()
+	if !regexp.MustCompile(`^api-[0-9a-f]{12}$`).MatchString(v) {
+		t.Fatalf("Version() = %q, want api-<12 hex chars>", v)
+	}
+	if Version() != v {
+		t.Fatal("Version() is not stable across calls")
+	}
+}
+
+func TestLabCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	sp := tinyCampaign()
+	sp.CacheDir = t.TempDir()
+	lab := NewLab(WithWorkers(4))
+	res, err := lab.Campaign(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulated != sp.N || res.CacheHits != 0 {
+		t.Fatalf("cold campaign: simulated %d / hits %d, want %d / 0", res.Simulated, res.CacheHits, sp.N)
+	}
+	if res.Version != Version() {
+		t.Fatalf("result version %q, want %q", res.Version, Version())
+	}
+	warm, err := lab.Campaign(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated != 0 || warm.CacheHits != sp.N {
+		t.Fatalf("warm campaign: simulated %d / hits %d, want 0 / %d", warm.Simulated, warm.CacheHits, sp.N)
+	}
+	if warm.Digest() != res.Digest() {
+		t.Fatalf("warm digest %s differs from cold %s", warm.Digest(), res.Digest())
+	}
+}
+
+func TestLabCampaignTypedErrors(t *testing.T) {
+	lab := NewLab()
+	bad := tinyCampaign()
+	bad.Algorithms = []string{"nope"}
+	_, err := lab.Campaign(context.Background(), bad)
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("invalid campaign spec returned %v, want ErrInvalidSpec", err)
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Op != "campaign" {
+		t.Fatalf("boundary error %v, want *Error with Op campaign", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = lab.Campaign(ctx, tinyCampaign())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled campaign returned %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+// TestProgressSerialized enforces the WithProgress contract: the Lab
+// delivers progress events one at a time, so a sink needs no locking of
+// its own. The sink checks for overlapping invocations with an atomic
+// in-flight counter while an 8-worker campaign hammers it.
+func TestProgressSerialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short")
+	}
+	var inFlight, overlaps, calls atomic.Int64
+	lab := NewLab(WithWorkers(8), WithProgress(func(ev ProgressEvent) {
+		if inFlight.Add(1) > 1 {
+			overlaps.Add(1)
+		}
+		calls.Add(1)
+		inFlight.Add(-1)
+	}))
+	if _, err := lab.Campaign(context.Background(), tinyCampaign()); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress sink never invoked")
+	}
+	if n := overlaps.Load(); n > 0 {
+		t.Fatalf("progress sink ran concurrently %d times; WithProgress promises serialized delivery", n)
+	}
+}

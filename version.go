@@ -1,0 +1,30 @@
+package mptcpsim
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+)
+
+// apiLock is the locked public API surface, embedded at build time: the
+// same api.txt `make apicheck` regenerates and diffs, so the binary always
+// knows which surface it was built against.
+//
+//go:embed api.txt
+var apiLock []byte
+
+// version is computed once: "api-" + the first 12 hex characters of the
+// SHA-256 of the locked API surface.
+var version = func() string {
+	sum := sha256.Sum256(apiLock)
+	return "api-" + hex.EncodeToString(sum[:6])
+}()
+
+// Version reports the build's code version, derived from the hash of the
+// locked public API surface (api.txt): any exported-surface change — a new
+// method, a changed signature, a reworded contract — yields a new version
+// string. It is printed by `mptcpsim -version`, reported by the serve
+// API, and used as the code-version component of every campaign cache
+// key, so results cached by one surface are never replayed against
+// another.
+func Version() string { return version }
